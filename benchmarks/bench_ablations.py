@@ -1,0 +1,173 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each bench runs a small-scale comparison isolating one mechanism:
+
+* ROST feature flags — spare-slot promotion, grandparent succession and
+  the bandwidth guard;
+* MLC selection vs uniformly random recovery groups (same CER striping);
+* ELN (upstream recovery) vs every descendant recovering on its own;
+* abrupt-only departures vs a graceful fraction.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import paper_config
+from repro.metrics.report import render_table
+from repro.protocols import PROTOCOLS
+from repro.protocols.rost import RostProtocol
+from repro.recovery.schemes import RecoveryScheme, cer_scheme
+from repro.simulation.churn import ChurnSimulation
+from repro.simulation.streaming import RecoverySimulation
+
+SCALE = 0.15
+SEED = 19
+
+
+@pytest.fixture(scope="module")
+def shared():
+    config = paper_config(population=4000, seed=SEED, scale=SCALE)
+    sim = ChurnSimulation(config, PROTOCOLS["min-depth"])
+    return config, sim.topology, sim.oracle
+
+
+def _churn(config, topo, oracle, factory, **kwargs):
+    return ChurnSimulation(
+        config, factory, topology=topo, oracle=oracle, **kwargs
+    ).run()
+
+
+def test_rost_feature_flags(benchmark, shared):
+    config, topo, oracle = shared
+    variants = {
+        "full rost": {},
+        "no promotion": {"promote_into_spare": False},
+        "no succession": {"grandparent_rejoin": False},
+        "no bw guard": {"bandwidth_guard": False},
+        "swaps only": {"promote_into_spare": False, "grandparent_rejoin": False},
+    }
+
+    def run_all():
+        rows = []
+        for label, flags in variants.items():
+            result = _churn(
+                config, topo, oracle, lambda ctx, f=flags: RostProtocol(ctx, **f)
+            )
+            rows.append(
+                [
+                    label,
+                    result.avg_disruptions_per_node,
+                    result.avg_service_delay_ms,
+                    result.avg_optimization_reconnections,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            f"ROST ablations (scale {SCALE}, population "
+            f"{config.workload.target_population})",
+            ["variant", "disr/node", "delay ms", "reconn/node"],
+            rows,
+        )
+    )
+    table = {row[0]: row for row in rows}
+    assert all(row[1] >= 0 for row in rows)
+    # the swaps-only variant produces a taller tree than full ROST
+    assert table["full rost"][2] <= table["swaps only"][2] * 1.5 + 50
+
+
+def test_mlc_vs_random_groups(benchmark, shared):
+    config, topo, oracle = shared
+    schemes = [
+        cer_scheme(3),
+        RecoveryScheme(
+            name="cer-k3-random", group_size=3, use_mlc=False, striped=True,
+            buffer_s=5.0,
+        ),
+    ]
+
+    def run():
+        sim = RecoverySimulation(
+            config, PROTOCOLS["min-depth"], schemes, topology=topo, oracle=oracle
+        )
+        return sim.run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    mlc = result.schemes["cer-k3-b5"]
+    rnd = result.schemes["cer-k3-random"]
+    print()
+    print(
+        render_table(
+            "MLC vs random recovery groups (CER, k=3)",
+            ["selection", "starving %", "mean coverage"],
+            [
+                ["mlc", mlc.avg_starving_ratio_pct, mlc.mean_coverage],
+                ["random", rnd.avg_starving_ratio_pct, rnd.mean_coverage],
+            ],
+        )
+    )
+    # minimum-loss-correlation selection never does worse than random
+    assert mlc.avg_starving_ratio_pct <= rnd.avg_starving_ratio_pct * 1.25 + 0.05
+
+
+def test_eln_ablation(benchmark, shared):
+    config, topo, oracle = shared
+    schemes = [cer_scheme(3), cer_scheme(3, eln=False)]
+
+    def run():
+        sim = RecoverySimulation(
+            config, PROTOCOLS["min-depth"], schemes, topology=topo, oracle=oracle
+        )
+        return sim.run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    with_eln = result.schemes["cer-k3-b5"]
+    without = result.schemes["cer-k3-b5-noeln"]
+    print()
+    print(
+        render_table(
+            "ELN (upstream recovery) vs independent per-member recovery",
+            ["variant", "starving %", "episodes"],
+            [
+                ["eln", with_eln.avg_starving_ratio_pct, with_eln.episodes],
+                ["no eln", without.avg_starving_ratio_pct, without.episodes],
+            ],
+        )
+    )
+    # without ELN every affected member runs its own episode: at least as
+    # many episodes (and strictly more whenever subtrees are non-trivial)
+    assert without.episodes >= with_eln.episodes
+
+
+def test_graceful_departure_fraction(benchmark, shared):
+    config, topo, oracle = shared
+
+    def run_all():
+        rows = []
+        for fraction in (0.0, 0.5, 1.0):
+            result = _churn(
+                config,
+                topo,
+                oracle,
+                PROTOCOLS["min-depth"],
+                graceful_departure_fraction=fraction,
+            )
+            rows.append([fraction, result.metrics.disruption_events])
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            "Disruption events vs graceful-departure fraction (min-depth)",
+            ["graceful fraction", "disruption events"],
+            rows,
+        )
+    )
+    events = [row[1] for row in rows]
+    assert events[0] >= events[1] >= events[2]
+    assert events[2] == 0

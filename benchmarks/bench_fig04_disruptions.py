@@ -1,0 +1,13 @@
+"""Figure 4 benchmark: disruptions per node across sizes and protocols."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig04_disruptions(benchmark, fresh_caches):
+    result = run_figure(benchmark, "fig04")
+    series = result.data["series"]
+    # Headline shape: at the largest size, ROST disrupts less than the
+    # structure-blind distributed baselines.
+    assert series["rost"][-1] <= series["min-depth"][-1]
+    assert series["rost"][-1] <= series["longest-first"][-1]
+    assert all(v >= 0 for vs in series.values() for v in vs)

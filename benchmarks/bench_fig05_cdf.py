@@ -1,0 +1,14 @@
+"""Figure 5 benchmark: disruption-count CDFs."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig05_cdf(benchmark, fresh_caches):
+    result = run_figure(benchmark, "fig05")
+    series = result.data["series"]
+    for name, fractions in series.items():
+        # CDFs are monotone and end at 100%
+        assert all(a <= b + 1e-9 for a, b in zip(fractions, fractions[1:])), name
+        assert fractions[-1] == 100.0
+    # ROST's CDF dominates the reliability-blind baselines at the median
+    assert series["rost"][2] >= series["min-depth"][2]

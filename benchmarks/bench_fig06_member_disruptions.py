@@ -1,0 +1,10 @@
+"""Figure 6 benchmark: the typical member's cumulative disruptions."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig06_member_disruptions(benchmark, fresh_caches):
+    result = run_figure(benchmark, "fig06")
+    series = result.data["series"]
+    for name, values in series.items():
+        assert all(a <= b for a, b in zip(values, values[1:])), name  # cumulative

@@ -1,0 +1,13 @@
+"""Figure 7 benchmark: average service delay vs size."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig07_delay(benchmark, fresh_caches):
+    result = run_figure(benchmark, "fig07")
+    series = result.data["series"]
+    assert all(v > 0 for vs in series.values() for v in vs)
+    # ROST's tree is shorter than the other distributed algorithms' at the
+    # largest size.
+    assert series["rost"][-1] <= series["min-depth"][-1]
+    assert series["rost"][-1] <= series["longest-first"][-1]

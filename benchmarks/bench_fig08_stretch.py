@@ -1,0 +1,10 @@
+"""Figure 8 benchmark: average network stretch vs size."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig08_stretch(benchmark, fresh_caches):
+    result = run_figure(benchmark, "fig08")
+    series = result.data["series"]
+    assert all(v >= 1.0 for vs in series.values() for v in vs)
+    assert series["rost"][-1] <= series["longest-first"][-1]

@@ -1,0 +1,14 @@
+"""Figure 9 benchmark: the typical member's service delay over time."""
+
+import math
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig09_member_delay(benchmark, fresh_caches):
+    result = run_figure(benchmark, "fig09")
+    series = result.data["series"]
+    for name, values in series.items():
+        finite = [v for v in values if not math.isnan(v)]
+        assert finite, name
+        assert all(v > 0 for v in finite), name

@@ -1,0 +1,16 @@
+"""Figure 10 benchmark: protocol overhead vs size."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig10_overhead(benchmark, fresh_caches):
+    result = run_figure(benchmark, "fig10")
+    series = result.data["series"]
+    # Join-only algorithms restructure nothing.
+    assert all(v == 0 for v in series["min-depth"])
+    assert all(v == 0 for v in series["longest-first"])
+    # ROST needs far less than one reconnection per member lifetime and
+    # stays below the centralized ordered baselines.
+    assert series["rost"][-1] < 1.0
+    assert series["rost"][-1] <= series["relaxed-bo"][-1]
+    assert series["rost"][-1] <= series["relaxed-to"][-1]

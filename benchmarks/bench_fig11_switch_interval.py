@@ -1,0 +1,11 @@
+"""Figure 11 benchmark: the ROST switching-interval sweep."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig11_switch_interval(benchmark, fresh_caches):
+    result = run_figure(benchmark, "fig11")
+    series = result.data["series"]
+    # Overhead stays tiny even at the most aggressive interval.
+    assert max(series["reconnections/node"]) < 1.0
+    assert all(v > 0 for v in series["service delay (ms)"])

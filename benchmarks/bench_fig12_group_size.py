@@ -1,0 +1,13 @@
+"""Figure 12 benchmark: starving time ratio vs CER group size."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig12_group_size(benchmark, fresh_caches):
+    result = run_figure(benchmark, "fig12")
+    series = result.data["series"]
+    # More recovery nodes never hurt; the largest network shows the
+    # clearest separation.
+    assert series["4"][-1] <= series["1"][-1]
+    assert series["3"][-1] <= series["1"][-1]
+    assert all(0.0 <= v <= 100.0 for vs in series.values() for v in vs)

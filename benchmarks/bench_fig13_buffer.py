@@ -1,0 +1,13 @@
+"""Figure 13 benchmark: starving time ratio vs buffer size."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig13_buffer(benchmark, fresh_caches):
+    result = run_figure(benchmark, "fig13")
+    series = result.data["series"]
+    for name, values in series.items():
+        # a larger buffer never increases starving (tolerate tiny noise)
+        assert values[-1] <= values[0] + 0.05, name
+    # bigger groups dominate at every buffer size
+    assert all(a <= b + 0.05 for a, b in zip(series["group=3"], series["group=1"]))

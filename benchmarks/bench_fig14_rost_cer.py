@@ -1,0 +1,11 @@
+"""Figure 14 benchmark: the combined ROST+CER system vs the baseline."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig14_rost_cer(benchmark, fresh_caches):
+    result = run_figure(benchmark, "fig14", replicas=2)
+    for k, row in result.data.items():
+        rost_mean, _ = row["rost_cer"]
+        base_mean, _ = row["mindepth_ss"]
+        assert rost_mean <= base_mean, f"group {k}"

@@ -1,0 +1,128 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These time the primitives the figure experiments spend their cycles in:
+delay-oracle queries, tree restructures, MLC group selection and the
+packet-level episode pricing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import TopologyConfig
+from repro.overlay.node import OverlayNode
+from repro.overlay.tree import MulticastTree
+from repro.recovery.episode import RepairSource, starvation_episode
+from repro.recovery.mlc import PartialTreeView, select_mlc_group
+from repro.sim.engine import Simulator
+from repro.topology.routing import DelayOracle
+from repro.topology.transit_stub import generate_transit_stub
+
+
+@pytest.fixture(scope="module")
+def topo_oracle():
+    cfg = TopologyConfig(
+        transit_domains=4,
+        transit_nodes_per_domain=6,
+        stub_domains_per_transit=3,
+        stub_nodes_per_domain=8,
+        seed=5,
+    )
+    topo = generate_transit_stub(cfg)
+    return topo, DelayOracle(topo)
+
+
+def test_oracle_delay_queries(benchmark, topo_oracle):
+    topo, oracle = topo_oracle
+    rng = np.random.default_rng(0)
+    pairs = rng.integers(0, topo.num_nodes, size=(1000, 2))
+
+    def query_block():
+        total = 0.0
+        for a, b in pairs:
+            total += oracle.delay_ms(int(a), int(b))
+        return total
+
+    assert benchmark(query_block) > 0
+
+
+def test_topology_generation(benchmark):
+    cfg = TopologyConfig(
+        transit_domains=3,
+        transit_nodes_per_domain=5,
+        stub_domains_per_transit=2,
+        stub_nodes_per_domain=8,
+        seed=11,
+    )
+    topo = benchmark(lambda: generate_transit_stub(cfg))
+    assert topo.num_nodes == cfg.total_nodes
+
+
+def _build_tree(num_members=500):
+    root = OverlayNode(0, 0, 100.0, 100, 0.0, is_root=True)
+    tree = MulticastTree(root)
+    rng = np.random.default_rng(1)
+    for member_id in range(1, num_members + 1):
+        node = OverlayNode(member_id, member_id, 3.0, 3, 0.0)
+        tree.add_member(node)
+        parents = [n for n in tree.attached_nodes() if n.spare_degree > 0]
+        tree.attach(node, parents[int(rng.integers(0, len(parents)))])
+    return tree
+
+
+def test_tree_attach_detach_cycle(benchmark):
+    tree = _build_tree(300)
+    victims = [n for n in tree.attached_nodes() if not n.is_root and n.children][:20]
+
+    def churn_cycle():
+        for victim in victims:
+            parent = victim.parent
+            tree.detach(victim)
+            tree.attach(victim, parent)
+
+    benchmark(churn_cycle)
+    tree.check_invariants()
+
+
+def test_mlc_group_selection(benchmark):
+    tree = _build_tree(400)
+    members = [n for n in tree.attached_nodes() if not n.is_root][:100]
+    view = PartialTreeView.from_members(members)
+    rng = np.random.default_rng(2)
+    group = benchmark(lambda: select_mlc_group(view, 3, rng))
+    assert 0 < len(group) <= 3
+
+
+def test_starvation_episode_pricing(benchmark):
+    sources = [
+        RepairSource(member_id=i, rate_pps=3.0, has_data=True, delay_ms=10.0 * i)
+        for i in range(1, 5)
+    ]
+    outcome = benchmark(
+        lambda: starvation_episode(
+            gap_packets=150,
+            packet_rate_pps=10.0,
+            buffer_ahead_s=5.0,
+            detect_s=0.5,
+            request_hop_s=0.5,
+            sources=sources,
+            striped=True,
+        )
+    )
+    assert outcome.gap_packets == 150
+
+
+def test_event_queue_throughput(benchmark):
+    def pump():
+        sim = Simulator()
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+            if counter[0] < 5000:
+                sim.schedule_in(1.0, tick)
+
+        sim.schedule_in(1.0, tick)
+        sim.run()
+        return counter[0]
+
+    assert benchmark(pump) == 5000

@@ -1,0 +1,39 @@
+"""Benchmark configuration.
+
+Each figure benchmark runs its experiment once (rounds=1) at a reduced
+scale — the point is to regenerate the paper's tables and record the
+end-to-end cost, not to average micro-timings.  Caches are cleared before
+each figure so the recorded time is the figure's true cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import common
+
+#: Populations and underlay are scaled by this factor relative to the paper.
+BENCH_SCALE = 0.1
+BENCH_SEED = 7
+
+
+@pytest.fixture()
+def fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+def run_figure(benchmark, experiment_id: str, **kwargs):
+    """Run one registered experiment under the benchmark timer and print
+    its table so the bench log doubles as the reproduction record."""
+    from repro.experiments import get_experiment
+
+    experiment = get_experiment(experiment_id)
+    params = {"scale": BENCH_SCALE, "seed": BENCH_SEED, **kwargs}
+    result = benchmark.pedantic(
+        lambda: experiment.run(**params), rounds=1, iterations=1
+    )
+    print()
+    print(result.table)
+    return result

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that editable installs work on environments whose ``pip``/``setuptools``
+cannot build PEP 660 editable wheels offline (no ``wheel`` package and no
+network to fetch one).
+"""
+
+from setuptools import setup
+
+setup()

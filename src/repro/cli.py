@@ -1,0 +1,166 @@
+"""``repro-sim`` — run one simulation from the command line.
+
+A front door for exploring the library without writing a script: pick a
+protocol, population and scale, run the churn simulation, and get the
+headline metrics plus (optionally) a layer-by-layer anatomy table, an
+ASCII rendering of the final tree, and a saved workload trace for exact
+replay.
+
+Examples::
+
+    repro-sim --protocol rost --population 2000 --scale 0.25
+    repro-sim --protocol relaxed-bo --population 1000 --scale 0.25 --anatomy
+    repro-sim --protocol rost --population 300 --scale 0.1 --render --max-depth 3
+    repro-sim --protocol min-depth --population 500 --scale 0.1 \
+        --save-trace trace.json
+    repro-sim --protocol rost --load-trace trace.json --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .config import paper_config
+from .metrics.report import render_table
+from .overlay.analysis import btp_ordering_violations, tree_statistics
+from .overlay.render import render_tree
+from .protocols import PROTOCOLS
+from .simulation.churn import ChurnSimulation
+from .workload.trace_io import load_workload, save_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Run one overlay-multicast churn simulation.",
+    )
+    parser.add_argument(
+        "--protocol",
+        choices=sorted(PROTOCOLS),
+        default="rost",
+        help="tree construction protocol (default: rost)",
+    )
+    parser.add_argument("--population", type=int, default=2000)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--graceful",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="fraction of departures announced in advance (default 0: the "
+        "paper's abrupt-only extreme)",
+    )
+    parser.add_argument(
+        "--membership",
+        choices=["abstract", "gossip"],
+        default="abstract",
+        help="peer-sampling substrate (gossip = the Cyclon-style protocol)",
+    )
+    parser.add_argument(
+        "--anatomy",
+        action="store_true",
+        help="print per-layer composition of the final tree",
+    )
+    parser.add_argument(
+        "--render",
+        action="store_true",
+        help="print an ASCII rendering of the final tree (truncated)",
+    )
+    parser.add_argument("--max-depth", type=int, default=4)
+    parser.add_argument(
+        "--save-trace",
+        metavar="PATH",
+        default=None,
+        help="save the generated workload trace as JSON",
+    )
+    parser.add_argument(
+        "--load-trace",
+        metavar="PATH",
+        default=None,
+        help="replay a previously saved workload trace",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = paper_config(
+        population=args.population, seed=args.seed, scale=args.scale
+    )
+    workload = load_workload(args.load_trace) if args.load_trace else None
+    simulation = ChurnSimulation(
+        config,
+        PROTOCOLS[args.protocol],
+        workload=workload,
+        graceful_departure_fraction=args.graceful,
+        membership_mode=args.membership,
+    )
+    if args.save_trace:
+        save_workload(simulation.workload, args.save_trace)
+        print(f"workload trace saved to {args.save_trace}")
+
+    started = time.time()
+    result = simulation.run()
+    elapsed = time.time() - started
+    now = simulation.sim.now
+
+    metrics = result.metrics
+    print(
+        f"{args.protocol}: {result.sessions_total} sessions over "
+        f"{config.horizon_s:.0f}s simulated ({elapsed:.1f}s wall-clock)"
+    )
+    rows = [
+        ["mean population", metrics.mean_population],
+        ["disruptions / lifetime", metrics.avg_disruptions_per_node],
+        ["service delay (ms)", metrics.avg_service_delay_ms],
+        ["network stretch", metrics.avg_stretch],
+        ["optimization reconnections / lifetime",
+         metrics.avg_optimization_reconnections_per_node],
+        ["control messages / session",
+         result.messages.total / max(1, result.sessions_total)],
+        ["rejected sessions", result.sessions_rejected],
+    ]
+    for key in ("switches", "promotions", "lock_failures"):
+        if key in result.extras:
+            rows.append([key, result.extras[key]])
+    print(render_table("Run summary", ["metric", "value"], rows))
+
+    if args.anatomy:
+        stats = tree_statistics(simulation.tree, now)
+        layer_rows = [
+            [
+                layer.layer,
+                layer.members,
+                layer.capacity,
+                layer.spare,
+                f"{100 * layer.free_rider_fraction:.0f}%",
+                layer.mean_age_s / 60.0,
+                layer.mean_descendants,
+            ]
+            for layer in stats.layers
+        ]
+        print()
+        print(
+            render_table(
+                f"Tree anatomy: depth={stats.depth}, "
+                f"mean depth={stats.mean_depth:.2f}, "
+                f"BTP violations={btp_ordering_violations(simulation.tree, now)}",
+                ["layer", "members", "capacity", "spare", "riders",
+                 "age (min)", "mean desc"],
+                layer_rows,
+                precision=1,
+            )
+        )
+
+    if args.render:
+        print()
+        print(render_tree(simulation.tree, now=now, max_depth=args.max_depth))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,376 @@
+"""Configuration dataclasses for every tunable the paper's evaluation uses.
+
+Defaults follow Section 5 ("Simulation Setup") of the paper exactly:
+
+* a GT-ITM transit-stub underlay of 15600 nodes (15360 stubs),
+* link delays U[15,25] ms transit-transit, U[5,9] ms transit-stub and
+  U[2,4] ms stub-stub,
+* a unit media streaming rate, root bandwidth 100,
+* member bandwidths Bounded Pareto(shape 1.2, lower 0.5, upper 100),
+* member lifetimes lognormal(location 5.5, shape 2.0) with mean 1809 s,
+* arrival rate from Little's law (lambda = M / mean lifetime),
+* a 360 s default ROST switching interval,
+* 5 s failure detection + 10 s rejoin = 15 s recovery window,
+* a 10 packets/s stream with a 5 s (50-packet) playback buffer and
+  per-node residual bandwidth U[0, 9] packets/s for error recovery.
+
+Every experiment constructs one of these dataclasses (or derives a scaled
+variant); nothing in the library reads module-level mutable globals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .errors import ConfigError
+
+#: Mean of lognormal(mu=5.5, sigma=2.0) = exp(5.5 + 2.0**2 / 2) ~= 1808.04 s.
+#: The paper rounds this to 1809 s; we compute it exactly from the law.
+PAPER_MEAN_LIFETIME_S = math.exp(5.5 + 2.0**2 / 2.0)
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Parameters of the transit-stub underlay generator.
+
+    The defaults recreate the paper's 15600-node topology:
+    ``transit_domains * transit_nodes_per_domain`` transit nodes (240) plus
+    ``transit nodes * stub_domains_per_transit * stub_nodes_per_domain``
+    stub nodes (15360).
+    """
+
+    transit_domains: int = 12
+    transit_nodes_per_domain: int = 20
+    stub_domains_per_transit: int = 4
+    stub_nodes_per_domain: int = 16
+    #: Probability of an extra edge between any two nodes of the same
+    #: transit domain (domains are always connected by a random spanning
+    #: tree first, so the graph is connected for any value in [0, 1]).
+    transit_edge_prob: float = 0.5
+    #: Extra-edge probability inside a stub domain.
+    stub_edge_prob: float = 0.4
+    #: Delay ranges in milliseconds, inclusive bounds, per the paper.
+    transit_transit_delay_ms: Tuple[float, float] = (15.0, 25.0)
+    transit_stub_delay_ms: Tuple[float, float] = (5.0, 9.0)
+    stub_stub_delay_ms: Tuple[float, float] = (2.0, 4.0)
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "transit_domains",
+            "transit_nodes_per_domain",
+            "stub_domains_per_transit",
+            "stub_nodes_per_domain",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1, got {getattr(self, name)}")
+        for name in ("transit_edge_prob", "stub_edge_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {p}")
+        for name in (
+            "transit_transit_delay_ms",
+            "transit_stub_delay_ms",
+            "stub_stub_delay_ms",
+        ):
+            lo, hi = getattr(self, name)
+            if lo < 0 or hi < lo:
+                raise ConfigError(f"{name} must satisfy 0 <= lo <= hi, got {(lo, hi)}")
+
+    @property
+    def total_transit_nodes(self) -> int:
+        return self.transit_domains * self.transit_nodes_per_domain
+
+    @property
+    def total_stub_nodes(self) -> int:
+        return (
+            self.total_transit_nodes
+            * self.stub_domains_per_transit
+            * self.stub_nodes_per_domain
+        )
+
+    @property
+    def total_nodes(self) -> int:
+        return self.total_transit_nodes + self.total_stub_nodes
+
+    def scaled(self, scale: float) -> "TopologyConfig":
+        """Return a smaller topology preserving the transit/stub structure.
+
+        ``scale`` shrinks the number of stub *domains* per transit node and
+        transit nodes per domain; the hierarchy shape is preserved so delay
+        statistics stay comparable.
+        """
+        if scale <= 0:
+            raise ConfigError(f"scale must be > 0, got {scale}")
+        if scale >= 1.0:
+            return self
+        shrink = math.sqrt(scale)
+        return dataclasses.replace(
+            self,
+            transit_nodes_per_domain=max(2, round(self.transit_nodes_per_domain * shrink)),
+            stub_nodes_per_domain=max(2, round(self.stub_nodes_per_domain * shrink)),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Member population, bandwidth and lifetime model.
+
+    ``target_population`` is M, the intended steady-state number of
+    concurrent members; the Poisson arrival rate is M / mean-lifetime
+    (Little's law), as in the paper.
+    """
+
+    target_population: int = 8000
+    #: Media streaming rate (bandwidth units); out-degree = floor(bw / rate).
+    stream_rate: float = 1.0
+    #: Root (source server) outbound bandwidth.
+    root_bandwidth: float = 100.0
+    #: Bounded Pareto parameters for member outbound bandwidth.
+    pareto_shape: float = 1.2
+    pareto_lower: float = 0.5
+    pareto_upper: float = 100.0
+    #: Lognormal lifetime parameters (location = mu of log, shape = sigma).
+    lifetime_location: float = 5.5
+    lifetime_shape: float = 2.0
+    #: Cap on a single lifetime draw, in seconds.  The raw lognormal has a
+    #: heavy tail (draws of years); capping at a long horizon keeps runs
+    #: bounded without visibly altering the body of the distribution.
+    lifetime_cap_s: float = 10 * 24 * 3600.0
+    #: Age cap for the stationary initial population, i.e. how long the
+    #: streaming session has been running when the simulation starts.  The
+    #: paper observes live events a few hours old (its longitudinal
+    #: figures span 300 minutes); with an unbounded equilibrium the
+    #: lognormal tail seeds members that are weeks old, a regime no live
+    #: broadcast reaches.
+    max_initial_age_s: float = 2 * 3600.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.target_population < 1:
+            raise ConfigError("target_population must be >= 1")
+        if self.stream_rate <= 0:
+            raise ConfigError("stream_rate must be > 0")
+        if self.root_bandwidth < self.stream_rate:
+            raise ConfigError("root_bandwidth must be >= stream_rate")
+        if self.pareto_shape <= 0:
+            raise ConfigError("pareto_shape must be > 0")
+        if not 0 < self.pareto_lower < self.pareto_upper:
+            raise ConfigError("need 0 < pareto_lower < pareto_upper")
+        if self.lifetime_shape <= 0:
+            raise ConfigError("lifetime_shape must be > 0")
+        if self.lifetime_cap_s <= 0:
+            raise ConfigError("lifetime_cap_s must be > 0")
+        if self.max_initial_age_s < 0:
+            raise ConfigError("max_initial_age_s must be >= 0")
+
+    @property
+    def mean_lifetime_s(self) -> float:
+        """Mean of the (uncapped) lognormal lifetime distribution."""
+        return math.exp(self.lifetime_location + self.lifetime_shape**2 / 2.0)
+
+    @property
+    def arrival_rate(self) -> float:
+        """Poisson arrival rate lambda = M / mean lifetime (Little's law)."""
+        return self.target_population / self.mean_lifetime_s
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Parameters shared by the tree construction protocols."""
+
+    #: How many known members a joining node queries (the paper uses "up to
+    #: 100 nodes in the network").
+    join_candidates: int = 100
+    #: Size of each node's gossip-maintained partial view of the overlay.
+    partial_view_size: int = 100
+    #: Number of upper-tree members every view additionally contains.  The
+    #: members closest to the root are the longest-advertised, best-known
+    #: peers in any gossip overlay, and the paper's minimum-depth join
+    #: "searches from the tree root downward" — which requires joiners to
+    #: see the top of the tree reliably.  Set to 0 for purely uniform views.
+    well_known_top: int = 50
+    #: ROST switching interval in seconds (paper default 360 s).
+    switch_interval_s: float = 360.0
+    #: Wait before retrying a switch whose lock acquisition failed.
+    lock_retry_wait_s: float = 15.0
+    #: Failure detection time (time from abrupt departure to children
+    #: noticing), per Section 6: 5 seconds.
+    failure_detect_s: float = 5.0
+    #: Time to re-find a parent and rejoin after detection: 10 seconds.
+    rejoin_s: float = 10.0
+    #: Proactive rescue plans (Yang & Fei, INFOCOM'04 — cited as [18]):
+    #: members precompute a backup attachment point (the grandparent),
+    #: so orphans whose plan is still valid skip the parent re-finding
+    #: phase and reattach ``rescue_s`` after detection.  Off by default;
+    #: the paper's evaluation uses the full 15 s window.
+    proactive_rescue: bool = False
+    #: Reattachment time after detection when a rescue plan applies.
+    rescue_s: float = 1.0
+    #: Number of age referees / bandwidth referees per node (both > 1 for
+    #: fault tolerance, per Section 3.4).
+    age_referees: int = 2
+    bandwidth_referees: int = 2
+    #: Size of the bandwidth *measurer* set: the nodes a newcomer
+    #: concurrently transmits test data to, whose partial rates jointly
+    #: form the aggregated bandwidth measurement (Section 3.4).
+    bandwidth_measurers: int = 3
+    #: Relative standard deviation of each measurer's partial-rate
+    #: estimate.  The default models ideal measurement (the paper's
+    #: implicit assumption); set > 0 to study noisy measurers.
+    measurement_noise: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.join_candidates < 1:
+            raise ConfigError("join_candidates must be >= 1")
+        if self.partial_view_size < 1:
+            raise ConfigError("partial_view_size must be >= 1")
+        if self.well_known_top < 0:
+            raise ConfigError("well_known_top must be >= 0")
+        if self.switch_interval_s <= 0:
+            raise ConfigError("switch_interval_s must be > 0")
+        if self.lock_retry_wait_s < 0:
+            raise ConfigError("lock_retry_wait_s must be >= 0")
+        if self.failure_detect_s < 0 or self.rejoin_s < 0:
+            raise ConfigError("failure_detect_s and rejoin_s must be >= 0")
+        if self.rescue_s < 0:
+            raise ConfigError("rescue_s must be >= 0")
+        if self.age_referees < 2 or self.bandwidth_referees < 2:
+            raise ConfigError("referee counts must be > 1 (fault tolerance)")
+        if self.bandwidth_measurers < 1:
+            raise ConfigError("bandwidth_measurers must be >= 1")
+        if self.measurement_noise < 0:
+            raise ConfigError("measurement_noise must be >= 0")
+
+    @property
+    def recovery_window_s(self) -> float:
+        """Total outage window seen by a child of a failed node (15 s)."""
+        return self.failure_detect_s + self.rejoin_s
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Parameters of the CER / packet-level recovery experiments."""
+
+    #: Stream packet rate (Section 6: 10 packets per second).
+    packet_rate_pps: float = 10.0
+    #: Playback buffer in seconds (default 5 s = 50 packets).
+    buffer_s: float = 5.0
+    #: Number of recovery nodes in the MLC group.
+    group_size: int = 3
+    #: Residual bandwidth per node, uniform in [0, residual_max_pps] pkt/s.
+    residual_max_pps: float = 9.0
+    #: Per-hop request/NACK forwarding latency budget, in seconds.  This is
+    #: the time lost each time a recovery node must pass the request on.
+    request_hop_s: float = 0.5
+    #: How long after a packet's delivery deadline the member fires its
+    #: first repair request.  Per Section 4.2 packet-loss detection is
+    #: per-packet ("when a member detects a delivery deadline missing, it
+    #: regards this as a packet loss") — a few packet periods plus a
+    #: request RTT, *not* the 5 s parent-failure declaration that gates
+    #: the rejoin.
+    repair_detect_s: float = 0.5
+    #: ELN sequence-gap threshold beyond which a member concludes its
+    #: parent failed and launches a rejoin (Section 4.2: gap > 3).
+    eln_gap_threshold: int = 3
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if self.packet_rate_pps <= 0:
+            raise ConfigError("packet_rate_pps must be > 0")
+        if self.buffer_s <= 0:
+            raise ConfigError("buffer_s must be > 0")
+        if self.group_size < 1:
+            raise ConfigError("group_size must be >= 1")
+        if self.residual_max_pps < 0:
+            raise ConfigError("residual_max_pps must be >= 0")
+        if self.request_hop_s < 0:
+            raise ConfigError("request_hop_s must be >= 0")
+        if self.repair_detect_s < 0:
+            raise ConfigError("repair_detect_s must be >= 0")
+        if self.eln_gap_threshold < 1:
+            raise ConfigError("eln_gap_threshold must be >= 1")
+
+    @property
+    def buffer_packets(self) -> int:
+        return int(round(self.buffer_s * self.packet_rate_pps))
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Top-level bundle tying everything together for one simulation run."""
+
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+    #: Warm-up time before measurements start, as a multiple of the mean
+    #: lifetime.  The paper measures "in the steady state"; two mean
+    #: lifetimes of warm-up is ample for the population to stabilise.
+    warmup_lifetimes: float = 2.0
+    #: Measurement window, as a multiple of the mean lifetime.
+    measure_lifetimes: float = 2.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.warmup_lifetimes < 0:
+            raise ConfigError("warmup_lifetimes must be >= 0")
+        if self.measure_lifetimes <= 0:
+            raise ConfigError("measure_lifetimes must be > 0")
+
+    @property
+    def warmup_s(self) -> float:
+        return self.warmup_lifetimes * self.workload.mean_lifetime_s
+
+    @property
+    def measure_s(self) -> float:
+        return self.measure_lifetimes * self.workload.mean_lifetime_s
+
+    @property
+    def horizon_s(self) -> float:
+        return self.warmup_s + self.measure_s
+
+    def with_population(self, population: int) -> "SimulationConfig":
+        """Return a copy targeting a different steady-state population."""
+        return dataclasses.replace(
+            self,
+            workload=dataclasses.replace(self.workload, target_population=population),
+        )
+
+    def with_switch_interval(self, interval_s: float) -> "SimulationConfig":
+        """Return a copy using a different ROST switching interval."""
+        return dataclasses.replace(
+            self,
+            protocol=dataclasses.replace(self.protocol, switch_interval_s=interval_s),
+        )
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        """Return a copy with new top-level and derived sub-seeds."""
+        return dataclasses.replace(
+            self,
+            seed=seed,
+            topology=dataclasses.replace(self.topology, seed=seed * 31 + 1),
+            workload=dataclasses.replace(self.workload, seed=seed * 31 + 7),
+            recovery=dataclasses.replace(self.recovery, seed=seed * 31 + 13),
+        )
+
+
+def paper_config(
+    population: int = 8000,
+    seed: int = 42,
+    scale: float = 1.0,
+) -> SimulationConfig:
+    """Build the paper's default configuration, optionally scaled down.
+
+    ``scale`` multiplies the target population and shrinks the underlay
+    proportionally; ``scale=1.0`` is the exact setup of Section 5.
+    """
+    if scale <= 0:
+        raise ConfigError(f"scale must be > 0, got {scale}")
+    workload = WorkloadConfig(target_population=max(8, int(round(population * scale))))
+    topo = TopologyConfig().scaled(scale)
+    cfg = SimulationConfig(topology=topo, workload=workload)
+    return cfg.with_seed(seed)

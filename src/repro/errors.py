@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class TopologyError(ReproError):
+    """The network topology is malformed or a query refers to an unknown node."""
+
+
+class TreeError(ReproError):
+    """An overlay tree operation would violate a structural invariant."""
+
+
+class CapacityError(TreeError):
+    """A join/attach failed because no member has spare out-degree."""
+
+
+class ProtocolError(ReproError):
+    """A protocol state machine received an impossible event."""
+
+
+class RecoveryError(ReproError):
+    """An error-recovery operation failed (e.g. empty recovery group)."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an inconsistency (e.g. time travel)."""

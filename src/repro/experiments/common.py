@@ -1,0 +1,207 @@
+"""Shared machinery for the experiment modules.
+
+The expensive artefacts — topologies/oracles, workloads and whole churn
+runs — are cached in-process and keyed by their full parameter tuples, so
+experiments that share sweeps (Figs 4/7/8/10; Figs 6/9) pay for them
+once.  All protocols within one sweep run against a byte-identical
+workload over a shared underlay, mirroring the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..config import SimulationConfig, paper_config
+from ..protocols import PROTOCOLS
+from ..protocols.rost import RostProtocol
+from ..sim.rng import RngRegistry
+from ..simulation.churn import ChurnRunResult, ChurnSimulation
+from ..simulation.probe import make_probe_session
+from ..simulation.streaming import RecoveryRunResult, RecoverySimulation
+from ..topology.routing import DelayOracle
+from ..topology.transit_stub import generate_transit_stub
+from ..workload.generator import generate_workload
+from ..workload.session import Session
+
+#: The x-axis of the paper's size sweeps (Figs 4, 7, 8, 10, 12).
+PAPER_SIZES: Tuple[int, ...] = (2000, 5000, 8000, 11000, 14000)
+#: Row order used in every multi-protocol figure.
+PROTOCOL_ORDER: Tuple[str, ...] = (
+    "min-depth",
+    "longest-first",
+    "relaxed-bo",
+    "relaxed-to",
+    "rost",
+)
+#: The network the single-size figures (5, 6, 9, 11, 13, 14) use.
+DEFAULT_SINGLE_SIZE = 8000
+
+_topology_cache: Dict[tuple, tuple] = {}
+_workload_cache: Dict[tuple, object] = {}
+_churn_cache: Dict[tuple, ChurnRunResult] = {}
+_recovery_cache: Dict[tuple, RecoveryRunResult] = {}
+
+
+def clear_caches() -> None:
+    """Drop all cached runs (tests use this to force fresh sweeps)."""
+    _topology_cache.clear()
+    _workload_cache.clear()
+    _churn_cache.clear()
+    _recovery_cache.clear()
+
+
+@dataclass(frozen=True)
+class SweepSettings:
+    """Knobs common to every experiment invocation."""
+
+    scale: float = 1.0
+    seed: int = 42
+    warmup_lifetimes: float = 2.0
+    measure_lifetimes: float = 2.0
+
+    def config(self, population: int) -> SimulationConfig:
+        cfg = paper_config(population=population, seed=self.seed, scale=self.scale)
+        return dataclasses.replace(
+            cfg,
+            warmup_lifetimes=self.warmup_lifetimes,
+            measure_lifetimes=self.measure_lifetimes,
+        )
+
+
+def shared_topology(config: SimulationConfig):
+    """Topology + oracle cached by the generating parameters."""
+    key = (config.topology,)
+    cached = _topology_cache.get(key)
+    if cached is None:
+        topology = generate_transit_stub(config.topology)
+        cached = (topology, DelayOracle(topology))
+        _topology_cache[key] = cached
+    return cached
+
+
+def shared_workload(
+    config: SimulationConfig, probe: Optional[Session] = None, salt: int = 0
+):
+    """One workload per (workload config, horizon, probe, salt) — identical
+    across the protocols of a sweep."""
+    topology, _ = shared_topology(config)
+    probe_key = None
+    if probe is not None:
+        probe_key = (probe.arrival_s, probe.lifetime_s, probe.bandwidth)
+    key = (config.workload, round(config.horizon_s, 6), probe_key, salt)
+    workload = _workload_cache.get(key)
+    if workload is None:
+        rngs = RngRegistry(config.seed)
+        workload = generate_workload(
+            config.workload,
+            horizon_s=config.horizon_s,
+            attach_nodes=topology.stub_nodes,
+            rng=rngs.stream("workload"),
+            probe=probe,
+        )
+        _workload_cache[key] = workload
+    return workload
+
+
+def protocol_factory(name: str, **kwargs) -> Callable:
+    """A factory for ``name``, optionally overriding ROST's feature flags."""
+    cls = PROTOCOLS[name]
+    if kwargs:
+        if cls is not RostProtocol:
+            raise ValueError(f"feature flags only apply to rost, not {name}")
+        return lambda ctx: RostProtocol(ctx, **kwargs)
+    return cls
+
+
+def churn_run(
+    protocol_name: str,
+    population: int,
+    settings: SweepSettings,
+    probe: Optional[Session] = None,
+    switch_interval_s: Optional[float] = None,
+    rost_flags: Optional[dict] = None,
+) -> ChurnRunResult:
+    """One (cached) churn run."""
+    key = (
+        "churn",
+        protocol_name,
+        population,
+        settings,
+        probe.lifetime_s if probe is not None else None,
+        switch_interval_s,
+        tuple(sorted((rost_flags or {}).items())),
+    )
+    cached = _churn_cache.get(key)
+    if cached is not None:
+        return cached
+    config = settings.config(population)
+    if switch_interval_s is not None:
+        config = config.with_switch_interval(switch_interval_s)
+    topology, oracle = shared_topology(config)
+    workload = shared_workload(config, probe=probe)
+    sim = ChurnSimulation(
+        config,
+        protocol_factory(protocol_name, **(rost_flags or {})),
+        topology=topology,
+        oracle=oracle,
+        workload=workload,
+        probe=probe,
+    )
+    result = sim.run()
+    _churn_cache[key] = result
+    return result
+
+
+def recovery_run(
+    protocol_name: str,
+    population: int,
+    settings: SweepSettings,
+    schemes: Sequence,
+    replica: int = 0,
+) -> RecoveryRunResult:
+    """One (cached) recovery run evaluating a grid of schemes."""
+    key = (
+        "recovery",
+        protocol_name,
+        population,
+        settings,
+        tuple(s.name for s in schemes),
+        replica,
+    )
+    cached = _recovery_cache.get(key)
+    if cached is not None:
+        return cached
+    config = settings.config(population)
+    if replica:
+        config = config.with_seed(settings.seed + 1000 * replica)
+    topology, oracle = shared_topology(config)
+    sim = RecoverySimulation(
+        config,
+        protocol_factory(protocol_name),
+        schemes,
+        topology=topology,
+        oracle=oracle,
+    )
+    result = sim.run()
+    _recovery_cache[key] = result
+    return result
+
+
+def default_probe(settings: SweepSettings, population: int) -> Session:
+    """The "typical member" of Figs 6 and 9: moderate bandwidth, a long
+    (300-minute) life, joining once the network is in steady state."""
+    config = settings.config(population)
+    topology, _ = shared_topology(config)
+    return make_probe_session(
+        arrival_s=config.warmup_s,
+        lifetime_s=300 * 60.0,
+        bandwidth=2.0,
+        underlay_node=topology.stub_nodes[len(topology.stub_nodes) // 2],
+    )
+
+
+def scaled_sizes(scale: float, sizes: Sequence[int] = PAPER_SIZES) -> Tuple[int, ...]:
+    """The paper's size axis (populations are scaled inside paper_config)."""
+    return tuple(sizes)

@@ -1,0 +1,49 @@
+"""Figure 4: average number of streaming disruptions per node vs size.
+
+Five algorithms over networks of 2000..14000 members; every departure is
+abrupt, and a failure disrupts every descendant.  The paper's headline
+result: ROST lowest; relaxed TO/BO in the middle; minimum-depth and
+longest-first worst by a wide margin.
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import render_series_table
+from .common import PAPER_SIZES, PROTOCOL_ORDER, SweepSettings, churn_run
+from .registry import ExperimentResult, register
+
+
+@register(
+    "fig04",
+    "Avg. streaming disruptions per node vs network size",
+    "Figure 4",
+)
+def run(scale: float = 1.0, seed: int = 42, sizes=PAPER_SIZES, **_) -> ExperimentResult:
+    settings = SweepSettings(scale=scale, seed=seed)
+    series = []
+    populations = {}
+    for protocol in PROTOCOL_ORDER:
+        values = []
+        for size in sizes:
+            result = churn_run(protocol, size, settings)
+            values.append(result.avg_disruptions_per_node)
+            populations.setdefault(size, result.metrics.mean_population)
+        series.append((protocol, values))
+    table = render_series_table(
+        "Fig. 4 — avg disruptions per node (scale "
+        f"{scale:g}, measured populations "
+        f"{[round(populations[s]) for s in sizes]})",
+        "size",
+        list(sizes),
+        series,
+    )
+    return ExperimentResult(
+        experiment_id="fig04",
+        title="Avg. streaming disruptions per node vs network size",
+        table=table,
+        data={
+            "sizes": list(sizes),
+            "series": {name: values for name, values in series},
+            "measured_populations": populations,
+        },
+    )

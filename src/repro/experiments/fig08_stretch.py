@@ -1,0 +1,38 @@
+"""Figure 8: average network stretch vs network size.
+
+Stretch = overlay service delay over direct-unicast delay from the
+source, averaged over members.
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import render_series_table
+from .common import PAPER_SIZES, PROTOCOL_ORDER, SweepSettings, churn_run
+from .registry import ExperimentResult, register
+
+
+@register(
+    "fig08",
+    "Avg. network stretch vs network size",
+    "Figure 8",
+)
+def run(scale: float = 1.0, seed: int = 42, sizes=PAPER_SIZES, **_) -> ExperimentResult:
+    settings = SweepSettings(scale=scale, seed=seed)
+    series = []
+    for protocol in PROTOCOL_ORDER:
+        values = [
+            churn_run(protocol, size, settings).avg_stretch for size in sizes
+        ]
+        series.append((protocol, values))
+    table = render_series_table(
+        f"Fig. 8 — avg network stretch (scale {scale:g})",
+        "size",
+        list(sizes),
+        series,
+    )
+    return ExperimentResult(
+        experiment_id="fig08",
+        title="Avg. network stretch vs network size",
+        table=table,
+        data={"sizes": list(sizes), "series": dict(series)},
+    )

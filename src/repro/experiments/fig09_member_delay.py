@@ -1,0 +1,67 @@
+"""Figure 9: service delay of the typical member over time.
+
+Under ROST (and relaxed TO) the probe's delay shrinks as it ascends the
+tree; under the time-blind algorithms it fluctuates without converging.
+Sampled on the same probe runs as Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..metrics.collectors import TimeSeries
+from ..metrics.report import render_series_table
+from .common import DEFAULT_SINGLE_SIZE, PROTOCOL_ORDER, churn_run, default_probe
+from .fig06_member_disruptions import SAMPLE_MINUTES, probe_settings
+from .registry import ExperimentResult, register
+
+
+def window_average(
+    series: TimeSeries, start_s: float, minutes, half_window_min: float = 16.0
+) -> List[float]:
+    """Average the sampled delay in a window around each minute mark."""
+    times = np.asarray(series.times)
+    values = np.asarray(series.values)
+    output = []
+    for minute in minutes:
+        center = start_s + minute * 60.0
+        mask = np.abs(times - center) <= half_window_min * 60.0
+        output.append(float(values[mask].mean()) if mask.any() else float("nan"))
+    return output
+
+
+@register(
+    "fig09",
+    "Service delay of a typical member over time",
+    "Figure 9",
+)
+def run(
+    scale: float = 1.0,
+    seed: int = 42,
+    population: int = DEFAULT_SINGLE_SIZE,
+    **_,
+) -> ExperimentResult:
+    settings = probe_settings(scale, seed)
+    probe = default_probe(settings, population)
+    series = []
+    for protocol in PROTOCOL_ORDER:
+        result = churn_run(protocol, population, settings, probe=probe)
+        assert result.probe_delay_ms is not None
+        values = window_average(result.probe_delay_ms, probe.arrival_s, SAMPLE_MINUTES)
+        series.append((protocol, values))
+    table = render_series_table(
+        f"Fig. 9 — typical member's service delay in ms "
+        f"(population {population}, scale {scale:g})",
+        "minute",
+        list(SAMPLE_MINUTES),
+        series,
+        precision=0,
+    )
+    return ExperimentResult(
+        experiment_id="fig09",
+        title="Service delay of a typical member over time",
+        table=table,
+        data={"minutes": list(SAMPLE_MINUTES), "series": dict(series)},
+    )

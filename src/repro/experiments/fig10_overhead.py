@@ -1,0 +1,42 @@
+"""Figure 10: protocol overhead vs network size.
+
+Overhead = average number of optimization-induced reconnections a member
+suffers during its lifetime.  Minimum-depth and longest-first never
+restructure the tree (zero overhead by construction); ROST stays far
+below one reconnection per lifetime; the centralized relaxed BO/TO pay
+the most.
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import render_series_table
+from .common import PAPER_SIZES, PROTOCOL_ORDER, SweepSettings, churn_run
+from .registry import ExperimentResult, register
+
+
+@register(
+    "fig10",
+    "Protocol overhead (reconnections per node) vs network size",
+    "Figure 10",
+)
+def run(scale: float = 1.0, seed: int = 42, sizes=PAPER_SIZES, **_) -> ExperimentResult:
+    settings = SweepSettings(scale=scale, seed=seed)
+    series = []
+    for protocol in PROTOCOL_ORDER:
+        values = [
+            churn_run(protocol, size, settings).avg_optimization_reconnections
+            for size in sizes
+        ]
+        series.append((protocol, values))
+    table = render_series_table(
+        f"Fig. 10 — avg optimization reconnections per node (scale {scale:g})",
+        "size",
+        list(sizes),
+        series,
+    )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Protocol overhead vs network size",
+        table=table,
+        data={"sizes": list(sizes), "series": dict(series)},
+    )

@@ -1,0 +1,43 @@
+"""Figure 12: average starving time ratio vs recovery group size.
+
+Minimum-depth trees with the CER protocol; recovery group sizes 1..4
+across network sizes.  A group of 3 cuts the starving time by an order of
+magnitude relative to a single recovery node.
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import render_series_table
+from ..recovery.schemes import cer_scheme
+from .common import PAPER_SIZES, SweepSettings, recovery_run
+from .registry import ExperimentResult, register
+
+GROUP_SIZES = (1, 2, 3, 4)
+
+
+@register(
+    "fig12",
+    "Avg. starving time ratio (%) vs recovery group size",
+    "Figure 12",
+)
+def run(scale: float = 1.0, seed: int = 42, sizes=PAPER_SIZES, **_) -> ExperimentResult:
+    settings = SweepSettings(scale=scale, seed=seed)
+    schemes = [cer_scheme(k) for k in GROUP_SIZES]
+    series = {k: [] for k in GROUP_SIZES}
+    for size in sizes:
+        result = recovery_run("min-depth", size, settings, schemes)
+        for k, scheme in zip(GROUP_SIZES, schemes):
+            series[k].append(result.ratio_pct(scheme.name))
+    table = render_series_table(
+        f"Fig. 12 — avg starving time ratio %% by CER group size "
+        f"(min-depth tree, scale {scale:g})",
+        "size",
+        list(sizes),
+        [(f"group={k}", series[k]) for k in GROUP_SIZES],
+    )
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Avg. starving time ratio vs recovery group size",
+        table=table,
+        data={"sizes": list(sizes), "series": {str(k): v for k, v in series.items()}},
+    )

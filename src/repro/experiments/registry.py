@@ -1,0 +1,67 @@
+"""Experiment registry: ids, metadata, and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+
+@dataclass
+class ExperimentResult:
+    """What one experiment run produces."""
+
+    experiment_id: str
+    title: str
+    #: Formatted text table(s) in the shape of the paper's figure.
+    table: str
+    #: Raw series keyed by a descriptive name.
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.table
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable reproduction of one paper artifact."""
+
+    experiment_id: str
+    title: str
+    paper_artifact: str
+    run: Callable[..., ExperimentResult]
+
+    def __call__(self, **kwargs) -> ExperimentResult:
+        return self.run(**kwargs)
+
+
+REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(experiment_id: str, title: str, paper_artifact: str):
+    """Decorator registering ``run(scale=..., seed=..., **kw)`` callables."""
+
+    def decorate(func):
+        if experiment_id in REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        REGISTRY[experiment_id] = Experiment(
+            experiment_id=experiment_id,
+            title=title,
+            paper_artifact=paper_artifact,
+            run=func,
+        )
+        return func
+
+    return decorate
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    try:
+        return REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+        ) from None
+
+
+def list_experiments() -> List[Experiment]:
+    return [REGISTRY[k] for k in sorted(REGISTRY)]

@@ -1,0 +1,124 @@
+"""Multi-seed replication of experiments.
+
+Single-seed figures inherit the run's sampling noise; replication runs an
+experiment across seeds and merges the per-seed series into mean ± 95% CI
+tables.  Works for any experiment whose ``data`` contains a ``series``
+mapping of equal-length numeric lists (all the sweep figures); other
+experiments (e.g. fig14, which already aggregates replicas internally)
+are reported per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..metrics.report import render_table
+from ..metrics.stats import mean_and_ci
+from .registry import ExperimentResult, get_experiment
+
+
+@dataclass
+class ReplicatedResult:
+    """Per-seed results plus the merged summary (when mergeable)."""
+
+    experiment_id: str
+    seeds: List[int]
+    replicas: List[ExperimentResult]
+    summary_table: Optional[str]
+    #: series name -> {"mean": [...], "ci95": [...]}
+    summary: Dict[str, Dict[str, List[float]]]
+
+    def __str__(self) -> str:
+        if self.summary_table is not None:
+            return self.summary_table
+        return "\n\n".join(r.table for r in self.replicas)
+
+
+def _mergeable_series(replicas: Sequence[ExperimentResult]) -> Optional[dict]:
+    """The common ``series`` structure, or None if shapes disagree."""
+    shapes = []
+    for result in replicas:
+        series = result.data.get("series")
+        if not isinstance(series, dict) or not series:
+            return None
+        try:
+            shape = {name: len(values) for name, values in series.items()}
+            for values in series.values():
+                [float(v) for v in values]
+        except (TypeError, ValueError):
+            return None
+        shapes.append(shape)
+    if any(shape != shapes[0] for shape in shapes[1:]):
+        return None
+    return shapes[0]
+
+
+def replicate(
+    experiment_id: str,
+    seeds: Sequence[int],
+    scale: float = 1.0,
+    **kwargs,
+) -> ReplicatedResult:
+    """Run ``experiment_id`` once per seed and merge the series."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    experiment = get_experiment(experiment_id)
+    replicas = [
+        experiment.run(scale=scale, seed=int(seed), **kwargs) for seed in seeds
+    ]
+    shape = _mergeable_series(replicas)
+    if shape is None or len(replicas) < 2:
+        return ReplicatedResult(
+            experiment_id=experiment_id,
+            seeds=list(seeds),
+            replicas=replicas,
+            summary_table=None,
+            summary={},
+        )
+
+    summary: Dict[str, Dict[str, List[float]]] = {}
+    rows = []
+    for name, length in shape.items():
+        stacked = np.array(
+            [[float(v) for v in r.data["series"][name]] for r in replicas]
+        )
+        means, cis = [], []
+        for column in range(length):
+            mean, ci = mean_and_ci(stacked[:, column])
+            means.append(mean)
+            cis.append(ci)
+        summary[name] = {"mean": means, "ci95": cis}
+        rows.append([name, *[f"{m:.3f}±{c:.3f}" for m, c in zip(means, cis)]])
+
+    x_axis = _x_axis_label(replicas[0])
+    header = ["series", *[str(x) for x in _x_axis_values(replicas[0], length)]]
+    table = render_table(
+        f"{replicas[0].title} — mean ± 95% CI over {len(seeds)} seeds "
+        f"(x axis: {x_axis})",
+        header,
+        rows,
+    )
+    return ReplicatedResult(
+        experiment_id=experiment_id,
+        seeds=list(seeds),
+        replicas=replicas,
+        summary_table=table,
+        summary=summary,
+    )
+
+
+def _x_axis_label(result: ExperimentResult) -> str:
+    for key in ("sizes", "minutes", "intervals_s", "thresholds", "buffers_s"):
+        if key in result.data:
+            return key
+    return "index"
+
+
+def _x_axis_values(result: ExperimentResult, length: int):
+    for key in ("sizes", "minutes", "intervals_s", "thresholds", "buffers_s"):
+        if key in result.data:
+            return result.data[key]
+    return list(range(length))

@@ -1,0 +1,138 @@
+"""Command-line interface for the experiment harness.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig04 --scale 0.1 --seed 7
+    python -m repro.experiments all --scale 0.05 --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from .registry import get_experiment, list_experiments
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of the DSN'06 ROST/CER paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all registered experiments")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment_id", help="e.g. fig04")
+    _add_run_arguments(run)
+
+    everything = sub.add_parser("all", help="run every experiment")
+    _add_run_arguments(everything)
+    return parser
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="population/underlay scale factor (1.0 = paper scale)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="run each experiment over this many consecutive seeds and "
+        "report mean +/- 95%% CI where the series are mergeable",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, help="also append tables to this file"
+    )
+    parser.add_argument(
+        "--json", type=str, default=None, help="dump raw data as JSON to this file"
+    )
+    parser.add_argument(
+        "--svg",
+        type=str,
+        default=None,
+        help="directory to write one SVG chart per experiment with series data",
+    )
+
+
+def _emit(text: str, out_path: Optional[str]) -> None:
+    print(text)
+    if out_path:
+        with open(out_path, "a") as handle:
+            handle.write(text + "\n")
+
+
+def _run_ids(ids: List[str], args) -> int:
+    json_data = {}
+    for experiment_id in ids:
+        started = time.time()
+        if args.replicas > 1:
+            from .replication import replicate
+
+            replicated = replicate(
+                experiment_id,
+                seeds=range(args.seed, args.seed + args.replicas),
+                scale=args.scale,
+            )
+            _emit(str(replicated), args.out)
+            json_data[experiment_id] = {
+                "seeds": replicated.seeds,
+                "summary": replicated.summary,
+                "replicas": [r.data for r in replicated.replicas],
+            }
+        else:
+            experiment = get_experiment(experiment_id)
+            result = experiment.run(scale=args.scale, seed=args.seed)
+            _emit(result.table, args.out)
+            json_data[experiment_id] = result.data
+            if args.svg:
+                _write_svg(result, args.svg)
+        elapsed = time.time() - started
+        _emit(f"[{experiment_id} finished in {elapsed:.1f}s]\n", args.out)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(json_data, handle, indent=2, default=str)
+    return 0
+
+
+def _write_svg(result, directory: str) -> None:
+    import os
+
+    from ..metrics.svgplot import experiment_chart
+
+    try:
+        chart = experiment_chart(result)
+    except ValueError:
+        return  # experiment without series data (e.g. fig14)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{result.experiment_id}.svg")
+    with open(path, "w") as handle:
+        handle.write(chart)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment in list_experiments():
+            print(
+                f"{experiment.experiment_id:8s} {experiment.paper_artifact:10s} "
+                f"{experiment.title}"
+            )
+        return 0
+    if args.command == "run":
+        return _run_ids([args.experiment_id], args)
+    return _run_ids([e.experiment_id for e in list_experiments()], args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

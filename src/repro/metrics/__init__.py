@@ -1,0 +1,25 @@
+"""Metrics: per-run collectors and statistics helpers.
+
+:mod:`repro.metrics.collectors` accumulates the raw events a churn run
+produces (disruptions, reconnections, delay samples, population integral);
+:mod:`repro.metrics.stats` provides means/CDFs/confidence intervals; and
+:mod:`repro.metrics.report` renders aligned text tables in the shape of
+the paper's figures.
+"""
+
+from .collectors import ChurnMetrics, TimeSeries
+from .stats import (
+    cdf_points,
+    confidence_interval_95,
+    describe,
+    mean_and_ci,
+)
+
+__all__ = [
+    "ChurnMetrics",
+    "TimeSeries",
+    "cdf_points",
+    "confidence_interval_95",
+    "describe",
+    "mean_and_ci",
+]

@@ -1,0 +1,183 @@
+"""Event collectors populated by the churn simulation driver.
+
+:class:`ChurnMetrics` accumulates exactly the raw quantities the paper's
+Figures 4-11 are computed from.  All counters respect the measurement
+window: events before ``window_start`` (warm-up) or after ``window_end``
+are ignored, matching the paper's "steady state" methodology.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .stats import mean_and_ci
+
+
+@dataclass
+class TimeSeries:
+    """An append-only (time, value) series (probe member figures 6 & 9)."""
+
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, t: float, value: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError(f"time going backwards: {t} after {self.times[-1]}")
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def as_pairs(self) -> List[Tuple[float, float]]:
+        return list(zip(self.times, self.values))
+
+
+class ChurnMetrics:
+    """Raw metric accumulation for one churn run.
+
+    The driver calls the ``record_*`` methods; experiments read the
+    ``avg_*`` properties after the run.
+    """
+
+    def __init__(
+        self, window_start: float, window_end: float, mean_lifetime_s: float = math.nan
+    ):
+        if window_end <= window_start:
+            raise ValueError("window_end must be > window_start")
+        self.window_start = window_start
+        self.window_end = window_end
+        #: Mean member lifetime; converts per-node-second event rates into
+        #: the paper's per-lifetime metrics.
+        self.mean_lifetime_s = mean_lifetime_s
+        #: Disruption events (one per affected descendant per failure).
+        self.disruption_events = 0
+        #: Parent changes caused by the optimizing mechanism (Fig. 10).
+        self.optimization_reconnections = 0
+        #: Parent changes caused by failure recovery (rejoins).
+        self.failure_reconnections = 0
+        #: Per-departed-member lifetime disruption counts (Figs 4, 5).
+        self.disruptions_per_departed: List[int] = []
+        #: Per-departed-member optimization reconnections (Fig. 10).
+        self.reconnections_per_departed: List[int] = []
+        #: Attached-population time integral (node-seconds) over the window.
+        self.node_seconds = 0.0
+        self._last_population_time = window_start
+        self._last_population = 0
+        #: Periodic whole-tree delay/stretch samples (Figs 7, 8).
+        self.delay_samples_ms: List[float] = []
+        self.stretch_samples: List[float] = []
+        #: Sessions that never managed to attach before departing.
+        self.rejected_sessions = 0
+        self.join_retries = 0
+        #: Number of member departures observed inside the window.
+        self.departures_in_window = 0
+        self.arrivals_in_window = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def in_window(self, t: float) -> bool:
+        return self.window_start <= t <= self.window_end
+
+    def record_population(self, t: float, population: int) -> None:
+        """Integrate attached population over the window (call on changes)."""
+        t_clamped = min(max(t, self.window_start), self.window_end)
+        if t_clamped > self._last_population_time:
+            self.node_seconds += self._last_population * (
+                t_clamped - self._last_population_time
+            )
+            self._last_population_time = t_clamped
+        self._last_population = population
+
+    def record_disruptions(self, t: float, affected: int) -> None:
+        if self.in_window(t):
+            self.disruption_events += affected
+
+    def record_optimization_reconnections(self, t: float, count: int) -> None:
+        if self.in_window(t):
+            self.optimization_reconnections += count
+
+    def record_failure_reconnection(self, t: float) -> None:
+        if self.in_window(t):
+            self.failure_reconnections += 1
+
+    def record_departure(
+        self,
+        t: float,
+        disruptions: int,
+        optimization_reconnections: int,
+        full_observation: bool = True,
+    ) -> None:
+        """Record a member departure.
+
+        ``full_observation`` is False for members of the stationary
+        initial population, whose pre-simulation disruptions were not
+        observed; they count toward departure totals but not toward the
+        per-lifetime distributions.
+        """
+        if self.in_window(t):
+            self.departures_in_window += 1
+            if full_observation:
+                self.disruptions_per_departed.append(disruptions)
+                self.reconnections_per_departed.append(optimization_reconnections)
+
+    def record_arrival(self, t: float) -> None:
+        if self.in_window(t):
+            self.arrivals_in_window += 1
+
+    def record_tree_sample(self, delay_ms: float, stretch: float) -> None:
+        self.delay_samples_ms.append(delay_ms)
+        self.stretch_samples.append(stretch)
+
+    # -- derived metrics ----------------------------------------------------------
+
+    @property
+    def avg_disruptions_per_node(self) -> float:
+        """Average disruptions a member experiences during its lifetime.
+
+        Rate-based: disruption events per attached node-second in the
+        window, scaled by the mean lifetime.  Unbiased under stationary
+        initialisation, where per-departure counting would miss the
+        pre-simulation exposure of initial members.
+        """
+        return self.disruption_rate_per_node_second() * self.mean_lifetime_s
+
+    @property
+    def avg_disruptions_per_departed(self) -> float:
+        """Mean per-lifetime disruption count over fully-observed members
+        (the direct estimator; agrees with the rate-based one in steady
+        state up to lifetime-truncation effects)."""
+        mean, _ = mean_and_ci(self.disruptions_per_departed)
+        return mean
+
+    @property
+    def avg_optimization_reconnections_per_node(self) -> float:
+        """Fig. 10's protocol-overhead metric (rate-based, per lifetime)."""
+        if self.node_seconds <= 0:
+            return math.nan
+        return (
+            self.optimization_reconnections / self.node_seconds
+        ) * self.mean_lifetime_s
+
+    def disruption_rate_per_node_second(self) -> float:
+        """Disruption events per attached node-second."""
+        if self.node_seconds <= 0:
+            return math.nan
+        return self.disruption_events / self.node_seconds
+
+    @property
+    def avg_service_delay_ms(self) -> float:
+        mean, _ = mean_and_ci(self.delay_samples_ms)
+        return mean
+
+    @property
+    def avg_stretch(self) -> float:
+        mean, _ = mean_and_ci(self.stretch_samples)
+        return mean
+
+    @property
+    def mean_population(self) -> float:
+        span = self.window_end - self.window_start
+        return self.node_seconds / span if span > 0 else math.nan

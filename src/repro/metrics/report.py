@@ -1,0 +1,67 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment prints its figure as an aligned table (series down the
+rows, the x-axis across the columns), so benchmark logs read like the
+paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        magnitude = abs(value)
+        if magnitude != 0 and (magnitude >= 1e5 or magnitude < 10 ** (-precision)):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 3,
+) -> str:
+    """Render an aligned text table with a title rule."""
+    formatted: List[List[str]] = [[str(h) for h in header]]
+    for row in rows:
+        formatted.append([format_value(cell, precision) for cell in row])
+    widths = [
+        max(len(formatted[r][c]) for r in range(len(formatted)))
+        for c in range(len(header))
+    ]
+    lines = [title, "=" * max(len(title), 8)]
+    for r, row in enumerate(formatted):
+        lines.append(
+            "  ".join(cell.rjust(widths[c]) for c, cell in enumerate(row))
+        )
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_series_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Sequence[tuple],
+    precision: int = 3,
+) -> str:
+    """Table with one row per named series: ``(name, [y-values...])``."""
+    header = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for name, values in series:
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_values)} x points"
+            )
+        rows.append([name, *values])
+    return render_table(title, header, rows, precision)

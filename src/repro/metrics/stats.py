@@ -1,0 +1,96 @@
+"""Statistics helpers: summaries, CDFs and confidence intervals."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: Two-sided 95% critical values of Student's t for small sample sizes
+#: (df 1..30); beyond 30 we use the normal value 1.96.  Hard-coding the
+#: table keeps scipy optional.
+_T_95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% Student-t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    if df <= len(_T_95):
+        return _T_95[df - 1]
+    return 1.96
+
+
+def confidence_interval_95(values: Sequence[float]) -> float:
+    """Half-width of the 95% confidence interval of the mean.
+
+    Returns 0 for fewer than two samples (no dispersion estimate).
+    """
+    data = np.asarray(values, dtype=float)
+    if data.size < 2:
+        return 0.0
+    sem = data.std(ddof=1) / math.sqrt(data.size)
+    return float(t_critical_95(data.size - 1) * sem)
+
+
+def mean_and_ci(values: Sequence[float]) -> Tuple[float, float]:
+    """(mean, 95% CI half-width); mean is NaN for an empty sample."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        return math.nan, 0.0
+    return float(data.mean()), confidence_interval_95(data)
+
+
+def cdf_points(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: sorted values and cumulative fractions in (0, 1]."""
+    data = np.sort(np.asarray(values, dtype=float))
+    if data.size == 0:
+        return data, data
+    fractions = np.arange(1, data.size + 1) / data.size
+    return data, fractions
+
+
+def cdf_at(values: Sequence[float], thresholds: Sequence[float]) -> List[float]:
+    """Fraction of ``values`` <= each threshold (the paper's Fig. 5 rows)."""
+    data = np.sort(np.asarray(values, dtype=float))
+    if data.size == 0:
+        return [math.nan for _ in thresholds]
+    return [float(np.searchsorted(data, t, side="right") / data.size) for t in thresholds]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+
+def describe(values: Sequence[float]) -> Summary:
+    """Summarise a sample (all-NaN summary when empty)."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        nan = math.nan
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan)
+    return Summary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        std=float(data.std(ddof=1)) if data.size > 1 else 0.0,
+        minimum=float(data.min()),
+        p50=float(np.percentile(data, 50)),
+        p90=float(np.percentile(data, 90)),
+        p99=float(np.percentile(data, 99)),
+        maximum=float(data.max()),
+    )

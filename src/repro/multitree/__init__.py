@@ -1,0 +1,29 @@
+"""Multiple-tree delivery: the paper's future-work extension.
+
+The paper evaluates single-tree delivery and notes that its techniques
+"can also be applied to the multiple-tree case" (Section 1).  This
+subpackage implements that case, SplitStream-style: the stream is split
+into K stripes, each distributed over its own ROST-maintained tree, and
+every member is *interior-capable in exactly one tree* (its home tree)
+while joining the others as a leaf — so one member's failure can
+interrupt at most one stripe of any other member.  Losing one stripe of
+K degrades quality by 1/K instead of blacking the stream out, which is
+the multiple-description-coding resilience argument the paper cites.
+
+* :mod:`repro.multitree.intervals` — outage-interval algebra (union,
+  intersection, clipping);
+* :mod:`repro.multitree.driver` — the K-tree churn orchestrator and its
+  stripe-quality metrics.
+"""
+
+from .driver import MultiTreeResult, MultiTreeSimulation
+from .intervals import clip_intervals, intersect_many, merge_intervals, total_length
+
+__all__ = [
+    "MultiTreeResult",
+    "MultiTreeSimulation",
+    "clip_intervals",
+    "intersect_many",
+    "merge_intervals",
+    "total_length",
+]

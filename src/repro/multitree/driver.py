@@ -1,0 +1,232 @@
+"""The K-tree churn orchestrator.
+
+Runs K stripe trees over the *same* member population and underlay.
+Each member is interior-capable only in its **home tree** (member id
+modulo K — the SplitStream interior-disjointness rule); in the other
+trees it joins with zero out-degree.  The multicast source serves every
+stripe, its outbound budget split evenly, which leaves it the same
+per-tree fan-out as in the single-tree system (each stripe carries 1/K
+of the rate).
+
+Stripe trees are *independent* given the capacity assignment — they
+share no overlay state — so the orchestrator composes K single-tree
+churn simulations over one workload and combines their outage timelines:
+
+* a member's **stripe outage** is the detection+rejoin window each
+  upstream failure opens in one stripe (quality degrades by 1/K);
+* a **blackout** is an instant where *all* K stripes are down at once —
+  the single-tree "streaming disruption" equivalent, which
+  interior-disjointness is designed to make rare.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import SimulationConfig
+from ..metrics.stats import mean_and_ci
+from ..overlay.node import OverlayNode
+from ..simulation.churn import ChurnRunResult, ChurnSimulation
+from ..workload.generator import ChurnWorkload
+from .intervals import clip_intervals, intersect_many, total_length
+
+
+@dataclass
+class MemberOutages:
+    """Per-member outage intervals, one list per stripe."""
+
+    join_s: float
+    departure_s: float
+    per_stripe: List[List[Tuple[float, float]]]
+
+
+@dataclass
+class MultiTreeResult:
+    """Combined metrics of a K-tree run."""
+
+    num_trees: int
+    per_tree: List[ChurnRunResult]
+    #: Stripe outages experienced per member lifetime (mean over departed
+    #: members): how often *some* stripe was interrupted.
+    stripe_disruptions_per_node: float
+    #: Blackouts (all stripes down simultaneously) per member lifetime.
+    blackouts_per_node: float
+    #: Mean fraction of the stream delivered over members' lifetimes
+    #: (1 - lost stripe-time / (K * view time)).
+    mean_delivered_quality: float
+    #: Mean over members of max-over-stripes service delay (all stripes
+    #: are needed, so the slowest stripe gates playback).
+    effective_delay_ms: float
+    members_measured: int
+
+    @property
+    def avg_tree_delay_ms(self) -> float:
+        mean, _ = mean_and_ci([r.avg_service_delay_ms for r in self.per_tree])
+        return mean
+
+
+class MultiTreeSimulation:
+    """Compose K stripe-tree churn simulations over one workload."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        protocol_factory: Callable,
+        num_trees: int = 2,
+        topology=None,
+        oracle=None,
+        workload: Optional[ChurnWorkload] = None,
+    ):
+        if num_trees < 1:
+            raise ValueError(f"num_trees must be >= 1, got {num_trees}")
+        self.num_trees = num_trees
+        self.base_config = config
+        stripe_rate = config.workload.stream_rate / num_trees
+        # Per-stripe config: the stripe carries 1/K of the rate and the
+        # source commits 1/K of its outbound budget to it.
+        self.stripe_config = dataclasses.replace(
+            config,
+            workload=dataclasses.replace(
+                config.workload,
+                stream_rate=stripe_rate,
+                root_bandwidth=config.workload.root_bandwidth / num_trees,
+            ),
+        )
+        self._protocol_factory = protocol_factory
+        self._sims: List[ChurnSimulation] = []
+        self._outages: Dict[int, MemberOutages] = {}
+        self._measured: Dict[int, MemberOutages] = {}
+
+        full_degree_rate = config.workload.stream_rate
+        for tree_index in range(num_trees):
+
+            def member_setup(node: OverlayNode, tree_index=tree_index) -> None:
+                if node.member_id % self.num_trees == tree_index:
+                    # Home tree: full forwarding capacity, measured against
+                    # the stripe rate.
+                    node.out_degree_cap = int(
+                        node.bandwidth / self.stripe_config.workload.stream_rate
+                    )
+                else:
+                    # Leaf everywhere else (interior-disjointness).
+                    node.out_degree_cap = 0
+
+            sim = ChurnSimulation(
+                self.stripe_config.with_seed(config.seed * 7 + tree_index),
+                protocol_factory,
+                topology=topology,
+                oracle=oracle,
+                workload=workload,
+                member_setup=member_setup,
+                disruption_observer=self._observer_for(tree_index),
+                departure_observer=self._departure_for(tree_index),
+            )
+            # All stripes share one underlay.
+            topology, oracle = sim.topology, sim.oracle
+            if workload is None:
+                workload = sim.workload
+            self._sims.append(sim)
+        self.topology, self.oracle, self.workload = topology, oracle, workload
+
+    # -- hooks ------------------------------------------------------------------
+
+    def _observer_for(self, tree_index: int):
+        def observe(now: float, failed: OverlayNode, in_window: bool) -> None:
+            window = self.base_config.protocol.recovery_window_s
+            for member in failed.descendants():
+                record = self._outages.get(member.member_id)
+                if record is None:
+                    record = MemberOutages(
+                        join_s=member.join_time,
+                        departure_s=float("nan"),
+                        per_stripe=[[] for _ in range(self.num_trees)],
+                    )
+                    self._outages[member.member_id] = record
+                record.per_stripe[tree_index].append((now, now + window))
+
+        return observe
+
+    def _departure_for(self, tree_index: int):
+        # Departure bookkeeping only needs to run once; use stripe 0.
+        if tree_index != 0:
+            return None
+
+        def departed(now: float, node: OverlayNode) -> None:
+            if not node.ever_attached:
+                self._outages.pop(node.member_id, None)
+                return
+            metrics = self._sims[0].metrics
+            if not metrics.in_window(now):
+                self._outages.pop(node.member_id, None)
+                return
+            record = self._outages.pop(node.member_id, None)
+            if record is None:
+                record = MemberOutages(
+                    join_s=node.join_time,
+                    departure_s=now,
+                    per_stripe=[[] for _ in range(self.num_trees)],
+                )
+            record.departure_s = now
+            self._measured[node.member_id] = record
+
+        return departed
+
+    # -- run ----------------------------------------------------------------------
+
+    def run(self) -> MultiTreeResult:
+        results = [sim.run() for sim in self._sims]
+        return self._combine(results)
+
+    def _combine(self, results: Sequence[ChurnRunResult]) -> MultiTreeResult:
+        stripe_counts: List[int] = []
+        blackout_counts: List[int] = []
+        qualities: List[float] = []
+        for member_id, record in self._measured.items():
+            view = record.departure_s - record.join_s
+            if view <= 0 or record.departure_s != record.departure_s:
+                continue
+            low, high = record.join_s, record.departure_s
+            clipped = [
+                clip_intervals(stripe, low, high) for stripe in record.per_stripe
+            ]
+            stripe_counts.append(sum(len(c) for c in clipped))
+            blackout_counts.append(len(intersect_many(clipped)))
+            lost = sum(total_length(c) for c in clipped)
+            qualities.append(
+                max(0.0, 1.0 - lost / (self.num_trees * view))
+            )
+        # Members never disrupted still count as perfect viewers.
+        measured_total = len(self._measured)
+        stripe_mean, _ = mean_and_ci(stripe_counts or [0.0])
+        blackout_mean, _ = mean_and_ci(blackout_counts or [0.0])
+        quality_mean, _ = mean_and_ci(qualities or [1.0])
+
+        effective_delay = self._effective_delay()
+        return MultiTreeResult(
+            num_trees=self.num_trees,
+            per_tree=list(results),
+            stripe_disruptions_per_node=stripe_mean,
+            blackouts_per_node=blackout_mean,
+            mean_delivered_quality=quality_mean,
+            effective_delay_ms=effective_delay,
+            members_measured=measured_total,
+        )
+
+    def _effective_delay(self) -> float:
+        """Mean over members of the slowest stripe's delay (end state)."""
+        delays: List[float] = []
+        for member_id in self._sims[0].tree.members:
+            if member_id == 0:
+                continue
+            per_stripe = []
+            for sim in self._sims:
+                node = sim.tree.members.get(member_id)
+                if node is None or not node.attached:
+                    break
+                per_stripe.append(sim.ctx.service_delay_ms(node))
+            else:
+                delays.append(max(per_stripe))
+        mean, _ = mean_and_ci(delays or [float("nan")])
+        return mean

@@ -1,0 +1,76 @@
+"""Closed-interval algebra for outage accounting.
+
+Intervals are ``(start, end)`` tuples with ``start <= end``; lists of
+intervals may overlap and arrive unsorted.  All functions return merged,
+sorted, disjoint interval lists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+Interval = Tuple[float, float]
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Sort and coalesce overlapping/touching intervals."""
+    items = sorted((s, e) for s, e in intervals if e > s)
+    merged: List[Interval] = []
+    for start, end in items:
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def clip_intervals(intervals: Iterable[Interval], low: float, high: float) -> List[Interval]:
+    """Intersect a set of intervals with the window [low, high]."""
+    if high <= low:
+        return []
+    clipped = [
+        (max(s, low), min(e, high))
+        for s, e in intervals
+        if e > low and s < high
+    ]
+    return merge_intervals(clipped)
+
+
+def total_length(intervals: Iterable[Interval]) -> float:
+    """Sum of lengths of a (possibly overlapping) interval set."""
+    return sum(e - s for s, e in merge_intervals(intervals))
+
+
+def intersect_two(a: Sequence[Interval], b: Sequence[Interval]) -> List[Interval]:
+    """Intersection of two merged interval lists (linear sweep)."""
+    a = merge_intervals(a)
+    b = merge_intervals(b)
+    result: List[Interval] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        start = max(a[i][0], b[j][0])
+        end = min(a[i][1], b[j][1])
+        if end > start:
+            result.append((start, end))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return result
+
+
+def intersect_many(interval_sets: Sequence[Sequence[Interval]]) -> List[Interval]:
+    """Intersection across any number of interval sets.
+
+    The empty family intersects to nothing (there is no universe to
+    default to in outage accounting).
+    """
+    if not interval_sets:
+        return []
+    current = merge_intervals(interval_sets[0])
+    for other in interval_sets[1:]:
+        if not current:
+            return []
+        current = intersect_two(current, other)
+    return current

@@ -1,0 +1,34 @@
+"""Overlay substrate: tree structure, node state, membership, messages.
+
+The :class:`~repro.overlay.tree.MulticastTree` is a mechanical data
+structure — it enforces capacity/linkage invariants and maintains layer
+numbers, but contains no policy.  Parent selection, eviction, switching
+and recovery policies live in :mod:`repro.protocols` and
+:mod:`repro.recovery`.
+"""
+
+from .analysis import (
+    LayerStats,
+    TreeStats,
+    btp_ordering_violations,
+    depth_histogram,
+    failure_impact_distribution,
+    layer_statistics,
+    tree_statistics,
+)
+from .membership import MembershipService
+from .node import OverlayNode
+from .tree import MulticastTree
+
+__all__ = [
+    "LayerStats",
+    "MembershipService",
+    "MulticastTree",
+    "OverlayNode",
+    "TreeStats",
+    "btp_ordering_violations",
+    "depth_histogram",
+    "failure_impact_distribution",
+    "layer_statistics",
+    "tree_statistics",
+]

@@ -1,0 +1,129 @@
+"""Tree-shape analytics: the structural statistics behind the figures.
+
+These are the quantities the paper reasons about qualitatively — how
+deep the tree is, what occupies each layer, how much forwarding capacity
+sits where, and how exposed members are to upstream failures.  They are
+used by the examples and diagnostics, and exercised directly in the test
+suite.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .node import OverlayNode
+from .tree import MulticastTree
+
+
+@dataclass(frozen=True)
+class LayerStats:
+    """Composition of one tree layer."""
+
+    layer: int
+    members: int
+    capacity: int
+    spare: int
+    free_rider_fraction: float
+    mean_bandwidth: float
+    mean_age_s: float
+    mean_descendants: float
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Whole-tree structural summary."""
+
+    members: int
+    depth: int
+    mean_depth: float
+    total_capacity: int
+    total_spare: int
+    free_rider_fraction: float
+    #: Average number of ancestors per member = average exposure to
+    #: upstream failures (each ancestor's departure disrupts the member).
+    mean_exposure: float
+    layers: List[LayerStats]
+
+
+def layer_statistics(tree: MulticastTree, now: float) -> List[LayerStats]:
+    """Per-layer composition of the attached component."""
+    by_layer: Dict[int, List[OverlayNode]] = {}
+    for node in tree.attached_nodes():
+        if node.is_root:
+            continue
+        by_layer.setdefault(node.layer, []).append(node)
+    stats = []
+    for layer in sorted(by_layer):
+        nodes = by_layer[layer]
+        caps = np.array([n.out_degree_cap for n in nodes])
+        stats.append(
+            LayerStats(
+                layer=layer,
+                members=len(nodes),
+                capacity=int(caps.sum()),
+                spare=int(sum(n.spare_degree for n in nodes)),
+                free_rider_fraction=float(np.mean(caps == 0)),
+                mean_bandwidth=float(np.mean([n.bandwidth for n in nodes])),
+                mean_age_s=float(np.mean([now - n.join_time for n in nodes])),
+                mean_descendants=float(
+                    np.mean([len(n.descendants()) for n in nodes])
+                ),
+            )
+        )
+    return stats
+
+
+def tree_statistics(tree: MulticastTree, now: float) -> TreeStats:
+    """Structural summary of the attached component."""
+    members = [n for n in tree.attached_nodes() if not n.is_root]
+    if not members:
+        return TreeStats(0, 0, 0.0, 0, 0, 0.0, 0.0, [])
+    depths = np.array([n.layer for n in members])
+    caps = np.array([n.out_degree_cap for n in members])
+    return TreeStats(
+        members=len(members),
+        depth=int(depths.max()),
+        mean_depth=float(depths.mean()),
+        total_capacity=int(caps.sum()),
+        total_spare=int(sum(n.spare_degree for n in members)),
+        free_rider_fraction=float(np.mean(caps == 0)),
+        mean_exposure=float(depths.mean()),  # ancestors per member = depth
+        layers=layer_statistics(tree, now),
+    )
+
+
+def depth_histogram(tree: MulticastTree) -> Counter:
+    """``{layer: member count}`` over the attached component."""
+    histogram: Counter = Counter()
+    for node in tree.attached_nodes():
+        histogram[node.layer] += 1
+    return histogram
+
+
+def failure_impact_distribution(tree: MulticastTree) -> List[int]:
+    """Descendant counts per attached member: the damage each member's
+    abrupt departure would cause right now (the quantity Fig. 4 sums over
+    actual failures)."""
+    return [
+        len(node.descendants())
+        for node in tree.attached_nodes()
+        if not node.is_root
+    ]
+
+
+def btp_ordering_violations(tree: MulticastTree, now: float) -> int:
+    """Number of parent-child edges where the child's true BTP exceeds the
+    parent's — how far the tree currently is from the ROST fixed point
+    (the root, with infinite BTP, never counts as a violation)."""
+    violations = 0
+    for node in tree.attached_nodes():
+        parent = node.parent
+        if parent is None or parent.is_root:
+            continue
+        if node.btp(now) > parent.btp(now):
+            violations += 1
+    return violations

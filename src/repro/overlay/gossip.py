@@ -1,0 +1,236 @@
+"""A Cyclon-style gossip peer-sampling service.
+
+The abstract :class:`~repro.overlay.membership.MembershipService` models a
+*converged* peer-sampling substrate (uniform random partial views).  This
+module implements the substrate itself: every member keeps a bounded view
+of ``(member id, entry age)`` descriptors and periodically *shuffles* —
+it contacts the entry it has known longest, sends a random half of its
+view (with a fresh descriptor of itself) and merges the peer's reply,
+preferring fresh entries and evicting the ones it sent.  Shuffling keeps
+the knowledge graph connected, ages out departed members, and makes each
+view converge toward a uniform sample of the live population — the
+property the paper's join ("queries the existing members for information
+about other participants") and MLC-group construction rely on.
+
+The gossip service is API-compatible with the abstract one (``register``
+/ ``unregister`` / ``sample``) and additionally answers per-member
+queries (:meth:`sample_for`).  The churn driver can run on either
+(``membership_mode="gossip"``); simulations at paper scale default to the
+abstract service since per-member shuffle events dominate the event queue
+long before they change any measured outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..sim.engine import Simulator
+from ..sim.process import PeriodicProcess
+from .membership import MembershipService
+from .node import OverlayNode
+
+
+@dataclass
+class ViewEntry:
+    """A descriptor of one known peer."""
+
+    member_id: int
+    #: Shuffle rounds since the descriptor was created (Cyclon "age").
+    age: int = 0
+
+
+class GossipMembership(MembershipService):
+    """Peer sampling backed by actual periodic view exchanges."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        sim: Simulator,
+        view_size: int = 20,
+        shuffle_length: int = 8,
+        shuffle_interval_s: float = 30.0,
+    ):
+        super().__init__(rng)
+        if view_size < 2:
+            raise ProtocolError(f"view_size must be >= 2, got {view_size}")
+        if not 1 <= shuffle_length <= view_size:
+            raise ProtocolError(
+                f"shuffle_length must be in [1, view_size], got {shuffle_length}"
+            )
+        self._sim = sim
+        self.view_size = view_size
+        self.shuffle_length = shuffle_length
+        self.shuffle_interval_s = shuffle_interval_s
+        self._views: Dict[int, List[ViewEntry]] = {}
+        self._processes: Dict[int, PeriodicProcess] = {}
+        self.shuffles = 0
+        self.failed_shuffles = 0
+
+    # -- membership lifecycle ---------------------------------------------------
+
+    def register(self, node: OverlayNode) -> None:
+        super().register(node)
+        view: List[ViewEntry] = []
+        # Bootstrap: copy (a sample of) a random existing member's view,
+        # plus the contact itself.
+        contact = super().sample(1, exclude=[node], attached_only=False)
+        if contact:
+            contact_node = contact[0]
+            donor_view = self._views.get(contact_node.member_id, [])
+            take = min(len(donor_view), self.view_size - 1)
+            if take:
+                picks = self._rng_choice(len(donor_view), take)
+                view.extend(
+                    ViewEntry(donor_view[i].member_id, donor_view[i].age)
+                    for i in picks
+                )
+            view.append(ViewEntry(contact_node.member_id, 0))
+        self._views[node.member_id] = self._dedupe(view, exclude_id=node.member_id)
+        process = PeriodicProcess(
+            self._sim,
+            self.shuffle_interval_s,
+            lambda: self._shuffle(node),
+        )
+        process.start(
+            initial_delay=float(self._rng.uniform(0.0, self.shuffle_interval_s))
+        )
+        self._processes[node.member_id] = process
+
+    def unregister(self, node: OverlayNode) -> None:
+        super().unregister(node)
+        self._views.pop(node.member_id, None)
+        process = self._processes.pop(node.member_id, None)
+        if process is not None:
+            process.stop()
+
+    # -- the shuffle --------------------------------------------------------------
+
+    def _shuffle(self, node: OverlayNode) -> None:
+        view = self._views.get(node.member_id)
+        if view is None:
+            return
+        for entry in view:
+            entry.age += 1
+        live = [e for e in view if e.member_id in self._index]
+        if not live:
+            # Knowledge lost (every known peer departed): re-bootstrap.
+            contact = super().sample(1, exclude=[node], attached_only=False)
+            self._views[node.member_id] = (
+                [ViewEntry(contact[0].member_id, 0)] if contact else []
+            )
+            self.failed_shuffles += 1
+            return
+        # Contact the longest-known peer (most likely to be stale).
+        target_entry = max(live, key=lambda e: e.age)
+        target_view = self._views.get(target_entry.member_id)
+        if target_view is None:
+            view.remove(target_entry)
+            self.failed_shuffles += 1
+            return
+
+        sent = self._select_subset(view, exclude_entry=target_entry)
+        sent_payload = [ViewEntry(node.member_id, 0)] + [
+            ViewEntry(e.member_id, e.age) for e in sent
+        ]
+        reply = self._select_subset(target_view, exclude_entry=None)
+        reply_payload = [ViewEntry(e.member_id, e.age) for e in reply]
+
+        self._merge(node.member_id, reply_payload, discardable=sent + [target_entry])
+        self._merge(
+            target_entry.member_id,
+            sent_payload,
+            discardable=reply,
+        )
+        self.shuffles += 1
+
+    def _select_subset(
+        self, view: List[ViewEntry], exclude_entry: Optional[ViewEntry]
+    ) -> List[ViewEntry]:
+        pool = [e for e in view if e is not exclude_entry]
+        take = min(self.shuffle_length - 1, len(pool))
+        if take <= 0:
+            return []
+        picks = self._rng_choice(len(pool), take)
+        return [pool[i] for i in picks]
+
+    def _merge(
+        self,
+        owner_id: int,
+        incoming: List[ViewEntry],
+        discardable: List[ViewEntry],
+    ) -> None:
+        view = self._views.get(owner_id)
+        if view is None:
+            return
+        known = {e.member_id: e for e in view}
+        for entry in incoming:
+            if entry.member_id == owner_id:
+                continue
+            existing = known.get(entry.member_id)
+            if existing is None:
+                view.append(ViewEntry(entry.member_id, entry.age))
+                known[entry.member_id] = view[-1]
+            elif entry.age < existing.age:
+                existing.age = entry.age
+        # Trim back to the bound: first drop entries we just shipped out,
+        # then the oldest.
+        discard_ids = {e.member_id for e in discardable}
+        while len(view) > self.view_size:
+            for i, entry in enumerate(view):
+                if entry.member_id in discard_ids:
+                    view.pop(i)
+                    discard_ids.discard(entry.member_id)
+                    break
+            else:
+                view.remove(max(view, key=lambda e: e.age))
+
+    def _dedupe(self, view: List[ViewEntry], exclude_id: int) -> List[ViewEntry]:
+        seen = set()
+        result = []
+        for entry in view:
+            if entry.member_id == exclude_id or entry.member_id in seen:
+                continue
+            seen.add(entry.member_id)
+            result.append(entry)
+        return result[: self.view_size]
+
+    def _rng_choice(self, n: int, k: int) -> List[int]:
+        if k >= n:
+            return list(range(n))
+        return [int(i) for i in self._rng.choice(n, size=k, replace=False)]
+
+    # -- queries --------------------------------------------------------------------
+
+    def view_of(self, node: OverlayNode) -> List[int]:
+        """The member ids currently in ``node``'s view."""
+        return [e.member_id for e in self._views.get(node.member_id, ())]
+
+    def sample_for(
+        self,
+        node: OverlayNode,
+        k: int,
+        exclude: Iterable[OverlayNode] = (),
+        attached_only: bool = True,
+    ) -> List[OverlayNode]:
+        """Sample from ``node``'s *own* view (live members only)."""
+        excluded = {n.member_id for n in exclude}
+        excluded.add(node.member_id)
+        candidates = []
+        for entry in self._views.get(node.member_id, ()):
+            if entry.member_id in excluded:
+                continue
+            pos = self._index.get(entry.member_id)
+            if pos is None:
+                continue
+            member = self._nodes[pos]
+            if attached_only and not member.attached:
+                continue
+            candidates.append(member)
+        if len(candidates) <= k:
+            return candidates
+        picks = self._rng_choice(len(candidates), k)
+        return [candidates[i] for i in picks]

@@ -1,0 +1,127 @@
+"""Partial-view membership service.
+
+The paper assumes each member learns about a medium-sized subset (~100) of
+other members through a bootstrap query plus periodic neighbour-information
+gossip (Sections 3.3 and 4.1).  For simulation we model the *converged*
+behaviour of such a gossip substrate: a query for ``k`` known members
+returns ``k`` members sampled uniformly from the live population.  This is
+the standard abstraction for peer-sampling services (uniform random
+partial views) and is what both join-candidate selection and MLC-group
+construction consume.
+
+The service keeps O(1) registration/removal via the swap-pop idiom and
+samples without replacement deterministically from a dedicated RNG stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+import numpy as np
+
+from ..errors import ProtocolError
+from .node import OverlayNode
+
+
+class MembershipService:
+    """Uniform peer sampling over the currently registered members."""
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self._nodes: List[OverlayNode] = []
+        self._index: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: OverlayNode) -> bool:
+        return node.member_id in self._index
+
+    def register(self, node: OverlayNode) -> None:
+        """Add a member to the sampling population."""
+        if node.member_id in self._index:
+            raise ProtocolError(f"member {node.member_id} already registered")
+        self._index[node.member_id] = len(self._nodes)
+        self._nodes.append(node)
+
+    def unregister(self, node: OverlayNode) -> None:
+        """Remove a member (O(1) swap-pop)."""
+        pos = self._index.pop(node.member_id, None)
+        if pos is None:
+            raise ProtocolError(f"member {node.member_id} not registered")
+        last = self._nodes.pop()
+        if last is not node:
+            self._nodes[pos] = last
+            self._index[last.member_id] = pos
+
+    def sample(
+        self,
+        k: int,
+        exclude: Iterable[OverlayNode] = (),
+        attached_only: bool = True,
+    ) -> List[OverlayNode]:
+        """Up to ``k`` distinct members, uniformly at random.
+
+        ``attached_only`` restricts the view to members currently holding a
+        tree position (a detached, rejoining member is unreachable for data
+        and should not be offered as a join candidate).  Returns fewer than
+        ``k`` members if the eligible population is smaller.
+        """
+        if k < 0:
+            raise ProtocolError(f"sample size must be >= 0, got {k}")
+        excluded: Set[int] = {n.member_id for n in exclude}
+
+        def eligible(node: OverlayNode) -> bool:
+            if node.member_id in excluded:
+                return False
+            return node.attached or not attached_only
+
+        population = len(self._nodes)
+        if population == 0 or k == 0:
+            return []
+        # Fast path: sample indices and filter; fall back to a full filtered
+        # pass when the eligible fraction is too small for rejection sampling.
+        if k * 3 < population:
+            picked: List[OverlayNode] = []
+            seen: Set[int] = set()
+            attempts = 0
+            max_attempts = 8 * k + 32
+            while len(picked) < k and attempts < max_attempts:
+                attempts += 1
+                idx = int(self._rng.integers(0, population))
+                node = self._nodes[idx]
+                if node.member_id in seen:
+                    continue
+                seen.add(node.member_id)
+                if eligible(node):
+                    picked.append(node)
+            if len(picked) == k:
+                return picked
+        candidates = [n for n in self._nodes if eligible(n)]
+        if len(candidates) <= k:
+            return candidates
+        indices = self._rng.choice(len(candidates), size=k, replace=False)
+        return [candidates[int(i)] for i in indices]
+
+    def sample_for(
+        self,
+        node: OverlayNode,
+        k: int,
+        exclude: Iterable[OverlayNode] = (),
+        attached_only: bool = True,
+    ) -> List[OverlayNode]:
+        """Members known to ``node`` specifically.
+
+        The abstract service models a converged peer-sampling substrate,
+        so every member sees the same uniform distribution; the gossip
+        implementation (:class:`repro.overlay.gossip.GossipMembership`)
+        overrides this with the member's actual view.
+        """
+        return self.sample(k, exclude=[node, *exclude], attached_only=attached_only)
+
+    def random_member(
+        self, exclude: Iterable[OverlayNode] = (), attached_only: bool = True
+    ) -> Optional[OverlayNode]:
+        """One uniformly random eligible member, or None."""
+        picked = self.sample(1, exclude=exclude, attached_only=attached_only)
+        return picked[0] if picked else None

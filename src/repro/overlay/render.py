@@ -1,0 +1,67 @@
+"""ASCII rendering of (small) overlay trees.
+
+For debugging and the examples: draws the attached component with one
+line per member, showing bandwidth, age and subtree size.  Large trees
+are elided below a depth/width budget rather than flooding the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .node import OverlayNode
+from .tree import MulticastTree
+
+
+def default_label(node: OverlayNode, now: float) -> str:
+    if node.is_root:
+        return f"root (cap {node.out_degree_cap})"
+    return (
+        f"#{node.member_id} bw={node.bandwidth:.1f} "
+        f"age={max(0.0, now - node.join_time) / 60:.0f}m "
+        f"desc={len(node.descendants())}"
+    )
+
+
+def render_tree(
+    tree: MulticastTree,
+    now: float = 0.0,
+    max_depth: int = 6,
+    max_children: int = 8,
+    label: Optional[Callable[[OverlayNode, float], str]] = None,
+) -> str:
+    """Draw the attached component as indented ASCII art.
+
+    ``max_depth`` truncates vertically and ``max_children`` horizontally;
+    elided parts are summarised (``... and N more``) so the output stays
+    readable for any tree size.
+    """
+    if label is None:
+        label = default_label
+    lines: List[str] = []
+
+    def walk(node: OverlayNode, prefix: str, is_last: bool, depth: int) -> None:
+        connector = "" if node.is_root else ("`-- " if is_last else "|-- ")
+        lines.append(prefix + connector + label(node, now))
+        if not node.children:
+            return
+        child_prefix = prefix if node.is_root else prefix + (
+            "    " if is_last else "|   "
+        )
+        if depth >= max_depth:
+            hidden = sum(1 + len(c.descendants()) for c in node.children)
+            lines.append(child_prefix + f"`-- ... {hidden} member(s) below")
+            return
+        shown = node.children[:max_children]
+        elided = len(node.children) - len(shown)
+        for i, child in enumerate(shown):
+            last = i == len(shown) - 1 and elided == 0
+            walk(child, child_prefix, last, depth + 1)
+        if elided:
+            hidden = sum(
+                1 + len(c.descendants()) for c in node.children[max_children:]
+            )
+            lines.append(child_prefix + f"`-- ... and {hidden} more member(s)")
+
+    walk(tree.root, "", True, 0)
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Overlay tree construction protocols.
+
+Five protocols, matching Section 5 of the paper:
+
+* :class:`~repro.protocols.minimum_depth.MinimumDepthProtocol` — joins
+  under the highest (smallest-layer) member with spare capacity among up
+  to 100 known members; no optimization overhead.
+* :class:`~repro.protocols.longest_first.LongestFirstProtocol` — joins
+  under the oldest member with spare capacity; no optimization overhead.
+* :class:`~repro.protocols.relaxed_bo.RelaxedBandwidthOrderedProtocol` —
+  centralized: joins/rejoins evict the first smaller-bandwidth node found
+  scanning layers top-down.
+* :class:`~repro.protocols.relaxed_to.RelaxedTimeOrderedProtocol` — same,
+  evicting younger nodes.
+* :class:`~repro.protocols.rost.RostProtocol` — the paper's contribution:
+  distributed min-depth joining plus periodic BTP-based parent/child
+  switching with locking and referee-verified claims.
+
+All protocols share the :class:`~repro.protocols.base.TreeProtocol`
+interface consumed by the churn driver.
+"""
+
+from .base import ProtocolContext, TreeProtocol
+from .longest_first import LongestFirstProtocol
+from .minimum_depth import MinimumDepthProtocol
+from .relaxed_bo import RelaxedBandwidthOrderedProtocol
+from .relaxed_to import RelaxedTimeOrderedProtocol
+from .rost import RostProtocol
+
+PROTOCOLS = {
+    cls.name: cls
+    for cls in (
+        MinimumDepthProtocol,
+        LongestFirstProtocol,
+        RelaxedBandwidthOrderedProtocol,
+        RelaxedTimeOrderedProtocol,
+        RostProtocol,
+    )
+}
+
+
+def protocol_by_name(name: str):
+    """Look up a protocol class by its registry name."""
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; available: {sorted(PROTOCOLS)}"
+        ) from None
+
+
+__all__ = [
+    "PROTOCOLS",
+    "LongestFirstProtocol",
+    "MinimumDepthProtocol",
+    "ProtocolContext",
+    "RelaxedBandwidthOrderedProtocol",
+    "RelaxedTimeOrderedProtocol",
+    "RostProtocol",
+    "TreeProtocol",
+    "protocol_by_name",
+]

@@ -1,0 +1,45 @@
+"""The longest-first join algorithm (Section 2.1, from Sripanidkulchai et
+al.).
+
+A joining member attaches under the *oldest* known member with spare
+capacity, exploiting the long-tailed lifetime distribution: old members
+are likely to stay longer.  The paper notes (and Fig. 4/7 confirm) that
+the resulting tree is tall, which ultimately hurts both reliability and
+service delay.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..overlay.node import OverlayNode
+from .base import TreeProtocol
+
+
+class LongestFirstProtocol(TreeProtocol):
+    """Attach under the longest-lived candidate; no proactive maintenance."""
+
+    name = "longest-first"
+    centralized = False
+
+    def place(self, node: OverlayNode, rejoin: bool) -> bool:
+        candidates = self.sample_candidates(node, mature_view=rejoin)
+        parent = self._select_oldest(node, candidates)
+        if parent is None:
+            return False
+        self.attach(node, parent)
+        return True
+
+    def _select_oldest(self, node, candidates) -> Optional[OverlayNode]:
+        best: Optional[OverlayNode] = None
+        best_key = None
+        for candidate in candidates:
+            if candidate.spare_degree <= 0 or not candidate.attached:
+                continue
+            # Oldest = smallest join time; the root has join time 0 and in
+            # the paper always has spare slots early on.  Ties break toward
+            # network proximity, as in the join rule.
+            key = (candidate.join_time, self.ctx.delay_ms(node, candidate))
+            if best_key is None or key < best_key:
+                best, best_key = candidate, key
+        return best

@@ -1,0 +1,28 @@
+"""The minimum-depth join algorithm (Section 2.1).
+
+A joining member queries up to ``join_candidates`` known members and
+attaches under the one highest in the tree (smallest layer) that has spare
+out-degree; ties break toward the smallest network delay.  The tree is
+never restructured afterwards, so the algorithm carries zero optimization
+overhead (Fig. 10) but is "reliability-ignorant" beyond its shortness.
+"""
+
+from __future__ import annotations
+
+from ..overlay.node import OverlayNode
+from .base import TreeProtocol
+
+
+class MinimumDepthProtocol(TreeProtocol):
+    """Distributed minimum-depth joining; no proactive maintenance."""
+
+    name = "min-depth"
+    centralized = False
+
+    def place(self, node: OverlayNode, rejoin: bool) -> bool:
+        candidates = self.sample_candidates(node, mature_view=rejoin)
+        parent = self.select_min_depth(node, candidates)
+        if parent is None:
+            return False
+        self.attach(node, parent)
+        return True

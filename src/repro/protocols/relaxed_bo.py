@@ -1,0 +1,24 @@
+"""Relaxed bandwidth-ordered (BO) tree algorithm (Section 5, algorithm 3).
+
+A centralized relaxation of the high-bandwidth-first algorithm: parents
+always have at least the bandwidth of their children (ordering holds along
+parent-child paths), but not necessarily across siblings/cousins — the
+modification the paper makes to keep protocol overhead realistic.
+Eviction cascades terminate because every evicted node has strictly
+smaller bandwidth than its evictor.
+"""
+
+from __future__ import annotations
+
+from ..overlay.node import OverlayNode
+from ._ordered import RelaxedOrderedProtocol
+
+
+class RelaxedBandwidthOrderedProtocol(RelaxedOrderedProtocol):
+    """Evict the first smaller-bandwidth node found scanning top-down."""
+
+    name = "relaxed-bo"
+
+    def eviction_priority(self, node: OverlayNode) -> float:
+        # Smaller bandwidth = more evictable.
+        return -node.bandwidth

@@ -1,0 +1,35 @@
+"""Relaxed time-ordered (TO) tree algorithm (Section 5, algorithm 4).
+
+The centralized relaxation of the strict time-ordered tree: parents are
+always at least as old as their children.  A *new* member (age zero) can
+never evict anyone and therefore first attaches under the highest member
+with spare capacity; as members age and rejoin (after upstream failures)
+they displace younger nodes toward the leaves.  Because a time-ordered
+node's capacity is uncorrelated with its age, an evicting member often
+cannot adopt all of the evictee's children — those forced rejoins are why
+the TO family pays a high protocol overhead (Fig. 10).
+
+Eviction cascades terminate because each evicted node is strictly younger
+than its evictor.
+"""
+
+from __future__ import annotations
+
+from ..overlay.node import OverlayNode
+from ._ordered import RelaxedOrderedProtocol
+
+
+class RelaxedTimeOrderedProtocol(RelaxedOrderedProtocol):
+    """Evict the youngest node of the first qualifying layer."""
+
+    name = "relaxed-to"
+    #: Time ordering targets the youngest member of the layer — the
+    #: member the ordering most clearly says does not belong there.
+    #: (First-found eviction makes TO churn pathologically: displacing a
+    #: mid-aged member triggers further evictions by *it*, inflating the
+    #: reconnection overhead far beyond the paper's Fig. 10 levels.)
+    evict_first_found = False
+
+    def eviction_priority(self, node: OverlayNode) -> float:
+        # Larger join time = younger = more evictable.
+        return node.join_time

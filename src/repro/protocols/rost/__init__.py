@@ -1,0 +1,17 @@
+"""ROST: the Reliability-Oriented Switching Tree algorithm (Section 3).
+
+Members join via distributed minimum-depth selection over a ~100-member
+partial view, then periodically compare their Bandwidth-Time Product (BTP
+= outbound bandwidth x age) against their parent's.  When a member's BTP
+exceeds its parent's *and* its bandwidth is at least the parent's, the two
+exchange positions under a short-lived lock covering the parent,
+grandparent, children and siblings.  Claims of bandwidth and age are
+verified through the referee mechanism of Section 3.4, which defeats
+cheating/malicious members.
+"""
+
+from .protocol import RostProtocol
+from .referees import RefereeService
+from .locking import try_lock_all
+
+__all__ = ["RefereeService", "RostProtocol", "try_lock_all"]

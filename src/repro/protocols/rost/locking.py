@@ -1,0 +1,43 @@
+"""All-or-nothing lock acquisition over a set of overlay nodes.
+
+Section 3.3: before switching, the initiating node locks "its parent, its
+grandparent and all of its children and siblings, in order to maintain a
+consistent state".  If any of them is already participating in another
+switch or in failure recovery, the acquisition fails as a whole and the
+initiator retries after ``lock_retry_wait_s``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ...overlay.node import OverlayNode
+
+
+def switch_lock_set(initiator: OverlayNode) -> List[OverlayNode]:
+    """The nodes a BTP switch must lock, per Section 3.3.
+
+    Includes the initiator itself; the parent and grandparent must exist
+    (callers check the structural preconditions first).
+    """
+    parent = initiator.parent
+    if parent is None or parent.parent is None:
+        raise ValueError("switch requires a parent and a grandparent")
+    involved = [initiator, parent, parent.parent]
+    involved.extend(initiator.children)
+    involved.extend(c for c in parent.children if c is not initiator)
+    return involved
+
+
+def try_lock_all(nodes: Iterable[OverlayNode], now: float, until: float) -> bool:
+    """Atomically lock every node until ``until``; False if any is busy.
+
+    On failure no lock is taken (checking precedes acquisition, and the
+    simulator is single-threaded within an event).
+    """
+    nodes = list(nodes)
+    if any(node.is_locked(now) for node in nodes):
+        return False
+    for node in nodes:
+        node.lock(until)
+    return True

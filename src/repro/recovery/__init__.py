@@ -1,0 +1,34 @@
+"""Packet-error recovery: the CER protocol and its baselines (Section 4).
+
+* :mod:`repro.recovery.mlc` — partial-tree knowledge and the
+  minimum-loss-correlation group selection (Algorithm 1);
+* :mod:`repro.recovery.episode` — the packet-level starvation model for
+  one disruption episode (deadlines, striped/sequential repair);
+* :mod:`repro.recovery.schemes` — CER and single-source recovery schemes
+  parameterised by group size, selection policy and buffer size;
+* :mod:`repro.recovery.eln` — Explicit Loss Notification: deciding whether
+  a loss originates at the parent (rejoin) or upstream (wait for upstream
+  recovery);
+* :mod:`repro.recovery.buffer` — per-member playback-buffer state.
+"""
+
+from .buffer import PlaybackState
+from .eln import ElnTracker, LossOrigin
+from .episode import EpisodeOutcome, RepairSource, starvation_episode
+from .mlc import PartialTreeView, loss_correlation, select_mlc_group
+from .schemes import RecoveryScheme, cer_scheme, single_source_scheme
+
+__all__ = [
+    "ElnTracker",
+    "EpisodeOutcome",
+    "LossOrigin",
+    "PartialTreeView",
+    "PlaybackState",
+    "RecoveryScheme",
+    "RepairSource",
+    "cer_scheme",
+    "loss_correlation",
+    "select_mlc_group",
+    "single_source_scheme",
+    "starvation_episode",
+]

@@ -1,0 +1,69 @@
+"""Per-member playback state used across disruption episodes.
+
+The playback buffer normally holds ``buffer_s`` seconds of data ahead of
+the playhead.  When failures arrive back to back — a second upstream
+failure before the previous episode's repair finished — the member enters
+the new outage with a drained buffer.  :class:`PlaybackState` tracks just
+enough state to apply that rule and to accumulate starving time safely
+(total starving is capped at the member's viewing time when ratios are
+computed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import RecoveryError
+
+
+@dataclass
+class PlaybackState:
+    """Rolling playback/outage state of one member under one scheme."""
+
+    buffer_s: float
+    join_time_s: float
+    #: Absolute time until which the member is still draining/repairing a
+    #: previous episode.
+    repair_busy_until_s: float = float("-inf")
+    starving_s: float = 0.0
+    episodes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.buffer_s <= 0:
+            raise RecoveryError("buffer_s must be > 0")
+
+    def buffer_ahead_at(self, t: float) -> float:
+        """Playable data held when a failure hits at absolute time ``t``.
+
+        Full buffer in steady state; empty if the previous episode's
+        repair is still in flight; and still filling during the initial
+        ``buffer_s`` after join (startup buffering).
+        """
+        if t < self.repair_busy_until_s:
+            return 0.0
+        since_join = t - self.join_time_s
+        if since_join < self.buffer_s:
+            return max(0.0, since_join)
+        return self.buffer_s
+
+    def record_episode(self, t: float, starving_s: float, repair_end_s: float) -> None:
+        """Account one episode's outcome (``repair_end_s`` is relative to
+        the failure time ``t``)."""
+        if starving_s < 0:
+            raise RecoveryError("negative starving time")
+        self.starving_s += starving_s
+        self.episodes += 1
+        busy_until = t + max(0.0, repair_end_s)
+        if busy_until > self.repair_busy_until_s:
+            self.repair_busy_until_s = busy_until
+
+    def view_time_at(self, t: float) -> float:
+        """Viewing time since playback began (join + initial buffering)."""
+        return max(0.0, t - self.join_time_s - self.buffer_s)
+
+    def starving_ratio_at(self, t: float) -> float:
+        """Starving time over viewing time, capped at 1."""
+        view = self.view_time_at(t)
+        if view <= 0:
+            return 0.0
+        return min(1.0, self.starving_s / view)

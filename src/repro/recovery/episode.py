@@ -1,0 +1,231 @@
+"""Packet-level starvation model for one disruption episode.
+
+Time is measured relative to the failure instant t0 = 0.  The failed
+upstream stops forwarding, so the stream packets generated during the
+outage window — the *gap* — can only reach the member through its
+recovery group.  Every packet has a playback deadline (its normal arrival
+time plus the playback buffer); a packet that misses its deadline is
+"meaningless" (Section 4.2) and is skipped, costing its playback slot in
+starving time.  The starving-time ratio of Figures 12-14 is the sum of
+these lost slots over the member's total viewing time.
+
+Two repair disciplines are modelled:
+
+* **striped** (CER) — the repair request travels down the ordered
+  recovery list; each live source with data takes responsibility for a
+  sequence-number range proportional to its residual bandwidth
+  (``(n mod 100) < 100*eps1`` etc.) and streams its range concurrently
+  with the others, until the examined residuals sum to the full rate or
+  the list is exhausted;
+* **sequential** (single-source, as in PRM/LER/Cooperative Patching) —
+  only the first live source with data serves, using its whole residual
+  bandwidth; later group members are contacted only if earlier ones are
+  dead, data-less or have no residual bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import RecoveryError
+
+#: Rates below this are useless for repair and risk float overflow in the
+#: per-packet arrival arithmetic; treat them as "no residual bandwidth".
+_MIN_RATE_PPS = 1e-9
+
+
+@dataclass(frozen=True)
+class RepairSource:
+    """One recovery-group member as seen by the requester, in contact order."""
+
+    member_id: int
+    #: Residual bandwidth it can devote to repair, packets/second.
+    rate_pps: float
+    #: True unless the source is itself affected by the same failure
+    #: (shares the failed upstream) — such a source NACKs the request.
+    has_data: bool
+    #: Network distance from the requester (used only for ordering).
+    delay_ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class BackfillSpec:
+    """Post-rejoin backfill from the new parent's playback buffer.
+
+    When the member re-attaches at ``start_s`` (the end of the
+    detection+rejoin window), its new parent still holds the most recent
+    part of the stream in its own playback buffer: every gap packet with
+    sequence >= ``cutoff_seq`` is available from the parent directly,
+    deliverable at the parent's residual rate alongside the live stream.
+    This is why large playback buffers keep paying off (Fig. 13): once
+    the buffer exceeds the outage window, the new parent can replay the
+    *entire* gap.
+    """
+
+    start_s: float
+    rate_pps: float
+    #: First gap sequence number still inside the new parent's buffer.
+    cutoff_seq: int
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.rate_pps < 0 or self.cutoff_seq < 0:
+            raise RecoveryError("backfill parameters must be >= 0")
+
+
+@dataclass(frozen=True)
+class EpisodeOutcome:
+    """Result of one episode: what the member's player experienced."""
+
+    gap_packets: int
+    repaired_in_time: int
+    missed_packets: int
+    starving_s: float
+    #: Time (relative to the failure) when repair traffic ended.
+    repair_end_s: float
+    #: Residual-bandwidth fraction of the stream the contacted sources
+    #: jointly covered (capped at 1).
+    coverage: float
+
+
+def starvation_episode(
+    gap_packets: int,
+    packet_rate_pps: float,
+    buffer_ahead_s: float,
+    detect_s: float,
+    request_hop_s: float,
+    sources: Sequence[RepairSource],
+    striped: bool,
+    backfill: Optional[BackfillSpec] = None,
+) -> EpisodeOutcome:
+    """Price one disruption episode.
+
+    ``gap_packets`` is the number of stream packets generated during the
+    outage window; ``buffer_ahead_s`` is how much playable data the member
+    held when the failure hit (zero if a previous outage drained it);
+    ``detect_s`` is the failure-detection time before the first repair
+    request leaves; each forwarding down the recovery list costs
+    ``request_hop_s``.  ``backfill``, if given, lets the post-rejoin
+    parent replay the gap packets still inside its own buffer for
+    whatever the recovery group could not deliver in time.
+    """
+    if gap_packets < 0:
+        raise RecoveryError(f"gap_packets must be >= 0, got {gap_packets}")
+    if packet_rate_pps <= 0:
+        raise RecoveryError("packet_rate_pps must be > 0")
+    if buffer_ahead_s < 0 or detect_s < 0 or request_hop_s < 0:
+        raise RecoveryError("buffer/detect/hop times must be >= 0")
+    if gap_packets == 0:
+        return EpisodeOutcome(0, 0, 0, 0.0, detect_s, 0.0)
+
+    # Deadline of gap packet k: it would normally arrive at k/r and play
+    # buffer_ahead_s later.
+    k = np.arange(gap_packets)
+    deadlines = k / packet_rate_pps + buffer_ahead_s
+    arrivals = np.full(gap_packets, np.inf)
+
+    coverage = 0.0
+    repair_end = detect_s
+    if striped:
+        coverage, repair_end = _striped_arrivals(
+            arrivals, packet_rate_pps, detect_s, request_hop_s, sources
+        )
+    else:
+        coverage, repair_end = _sequential_arrivals(
+            arrivals, packet_rate_pps, detect_s, request_hop_s, sources
+        )
+
+    if backfill is not None and backfill.rate_pps > _MIN_RATE_PPS:
+        repair_end = max(
+            repair_end, _backfill_arrivals(arrivals, deadlines, backfill)
+        )
+
+    repaired = int(np.count_nonzero(arrivals <= deadlines))
+    missed = gap_packets - repaired
+    return EpisodeOutcome(
+        gap_packets=gap_packets,
+        repaired_in_time=repaired,
+        missed_packets=missed,
+        starving_s=missed / packet_rate_pps,
+        repair_end_s=repair_end,
+        coverage=coverage,
+    )
+
+
+def _backfill_arrivals(
+    arrivals: np.ndarray, deadlines: np.ndarray, backfill: BackfillSpec
+) -> float:
+    """Replay buffered gap packets from the new parent, in sequence order,
+    for everything the recovery group would miss."""
+    gap = len(arrivals)
+    eligible = np.zeros(gap, dtype=bool)
+    if backfill.cutoff_seq < gap:
+        eligible[backfill.cutoff_seq :] = True
+    # Only packets the group repair does not already deliver in time.
+    eligible &= arrivals > deadlines
+    count = int(np.count_nonzero(eligible))
+    if count == 0:
+        return backfill.start_s
+    order = np.arange(1, count + 1)
+    replay = backfill.start_s + order / backfill.rate_pps
+    arrivals[eligible] = np.minimum(arrivals[eligible], replay)
+    return float(replay.max())
+
+
+def _striped_arrivals(
+    arrivals: np.ndarray,
+    packet_rate_pps: float,
+    detect_s: float,
+    request_hop_s: float,
+    sources: Sequence[RepairSource],
+) -> tuple:
+    """CER striping: assign ``(n mod 100)`` ranges by residual bandwidth."""
+    gap = len(arrivals)
+    mod_fraction = (np.arange(gap) % 100) / 100.0
+    cum_fraction = 0.0
+    repair_end = detect_s
+    hops = 0
+    for source in sources:
+        start = detect_s + hops * request_hop_s
+        hops += 1
+        if not source.has_data or source.rate_pps <= _MIN_RATE_PPS:
+            continue
+        fraction = source.rate_pps / packet_rate_pps
+        low = cum_fraction
+        high = min(1.0, cum_fraction + fraction)
+        mask = (mod_fraction >= low) & (mod_fraction < high)
+        count = int(np.count_nonzero(mask))
+        if count:
+            # The m-th packet of this source's range arrives (m+1)/rate
+            # after the source starts serving.
+            order = np.arange(1, count + 1)
+            arrivals[mask] = start + order / source.rate_pps
+            repair_end = max(repair_end, float(arrivals[mask].max()))
+        cum_fraction = high
+        if cum_fraction >= 1.0:
+            break
+    return cum_fraction, repair_end
+
+
+def _sequential_arrivals(
+    arrivals: np.ndarray,
+    packet_rate_pps: float,
+    detect_s: float,
+    request_hop_s: float,
+    sources: Sequence[RepairSource],
+) -> tuple:
+    """Single-source repair: the first usable source serves everything."""
+    gap = len(arrivals)
+    hops = 0
+    for source in sources:
+        start = detect_s + hops * request_hop_s
+        hops += 1
+        if not source.has_data or source.rate_pps <= _MIN_RATE_PPS:
+            continue
+        order = np.arange(1, gap + 1)
+        arrivals[:] = start + order / source.rate_pps
+        coverage = min(1.0, source.rate_pps / packet_rate_pps)
+        return coverage, float(arrivals.max())
+    return 0.0, detect_s

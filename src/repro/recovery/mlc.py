@@ -1,0 +1,245 @@
+"""Minimum-loss-correlation (MLC) recovery group selection (Section 4.1).
+
+The loss correlation of two members is the number of tree edges their
+root paths share: ``w(v1, v2) = |path(r, v1) ∩ path(r, v2)|``.  A good
+recovery group minimises the pairwise sum of ``w`` so that one upstream
+failure is unlikely to knock out several recovery sources at once.
+
+A member cannot see the whole tree; it knows a medium-sized subset of
+members (its partial view) together with each one's ancestor list — the
+information gossiped during normal multicast operation.  From these root
+paths it reconstructs a partial tree (Fig. 3) and runs Algorithm 1:
+
+1. find the first level ``Li`` of the partial tree with
+   ``|Li| < K <= |Li+1|``;
+2. seed the MLC root set ``G0`` with one random child of each node of
+   ``Li`` until ``|G0| >= K``;
+3. produce the group ``G`` by picking one random descendant from the
+   subtree of each member of ``G0`` (randomisation balances the repair
+   load across the subtrees).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..errors import RecoveryError
+from ..overlay.node import OverlayNode
+
+
+def root_path_ids(node: OverlayNode) -> List[int]:
+    """Member ids from the root down to ``node`` (inclusive)."""
+    path = [node.member_id]
+    current = node.parent
+    while current is not None:
+        path.append(current.member_id)
+        current = current.parent
+    path.reverse()
+    return path
+
+
+def loss_correlation(a: OverlayNode, b: OverlayNode) -> int:
+    """w(a, b): number of shared tree edges on the two root paths."""
+    path_a = root_path_ids(a)
+    path_b = root_path_ids(b)
+    shared = 0
+    # Paths share a prefix starting at the root; each shared non-root hop
+    # is a shared edge.
+    for ia, ib in zip(path_a, path_b):
+        if ia != ib:
+            break
+        shared += 1
+    return max(0, shared - 1)
+
+
+def group_loss_correlation(nodes: Sequence[OverlayNode]) -> int:
+    """Pairwise loss-correlation sum the MLC group minimises."""
+    total = 0
+    for i in range(len(nodes)):
+        for j in range(i + 1, len(nodes)):
+            total += loss_correlation(nodes[i], nodes[j])
+    return total
+
+
+@dataclass
+class _ViewNode:
+    member_id: int
+    children: Set[int] = field(default_factory=set)
+
+
+class PartialTreeView:
+    """A member's reconstruction of the tree from its partial view.
+
+    Built from the root paths of a sample of known members; every node on
+    any of those paths is represented (it is a real, addressable member).
+    """
+
+    def __init__(self, root_id: int):
+        self.root_id = root_id
+        self._nodes: Dict[int, _ViewNode] = {root_id: _ViewNode(root_id)}
+
+    @classmethod
+    def from_members(
+        cls,
+        known: Iterable[OverlayNode],
+        exclude: Iterable[int] = (),
+    ) -> "PartialTreeView":
+        """Reconstruct the view from known members' ancestor lists.
+
+        ``exclude`` removes members (e.g. the requester and its own
+        descendants) from the view entirely: a path is truncated at the
+        first excluded member, since everything below it is unusable as a
+        recovery source.
+        """
+        excluded = set(exclude)
+        root_id: Optional[int] = None
+        paths: List[List[int]] = []
+        for member in known:
+            path = root_path_ids(member)
+            if root_id is None:
+                root_id = path[0]
+            cut = len(path)
+            for i, member_id in enumerate(path):
+                if member_id in excluded:
+                    cut = i
+                    break
+            if cut >= 2:
+                paths.append(path[:cut])
+            elif cut == 1:
+                paths.append(path[:1])
+        if root_id is None:
+            raise RecoveryError("cannot build a view from an empty sample")
+        view = cls(root_id)
+        for path in paths:
+            view._add_path(path)
+        return view
+
+    def _add_path(self, path: List[int]) -> None:
+        if path[0] != self.root_id:
+            raise RecoveryError(
+                f"path starts at {path[0]}, expected root {self.root_id}"
+            )
+        for parent_id, child_id in zip(path, path[1:]):
+            parent = self._nodes.setdefault(parent_id, _ViewNode(parent_id))
+            parent.children.add(child_id)
+            self._nodes.setdefault(child_id, _ViewNode(child_id))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, member_id: int) -> bool:
+        return member_id in self._nodes
+
+    def member_ids(self) -> List[int]:
+        """All members represented in the view (including the root)."""
+        return list(self._nodes)
+
+    def children_of(self, member_id: int) -> List[int]:
+        node = self._nodes.get(member_id)
+        if node is None:
+            raise RecoveryError(f"member {member_id} not in the partial view")
+        return sorted(node.children)
+
+    def levels(self) -> List[List[int]]:
+        """Members per level, level 0 = [root]."""
+        result: List[List[int]] = []
+        frontier = [self.root_id]
+        while frontier:
+            result.append(frontier)
+            next_frontier: List[int] = []
+            for member_id in frontier:
+                next_frontier.extend(self.children_of(member_id))
+            frontier = next_frontier
+        return result
+
+    def descendants_of(self, member_id: int) -> List[int]:
+        """All view-members strictly below ``member_id``."""
+        result: List[int] = []
+        queue = deque(self.children_of(member_id))
+        while queue:
+            current = queue.popleft()
+            result.append(current)
+            queue.extend(self.children_of(current))
+        return result
+
+
+def select_mlc_group(
+    view: PartialTreeView,
+    group_size: int,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Algorithm 1: the minimum-loss-correlation recovery group.
+
+    Returns up to ``group_size`` member ids (fewer if the view is too
+    small).  The root itself is never selected — the source serves the
+    whole tree and is not a peer recovery node.
+    """
+    if group_size < 1:
+        raise RecoveryError(f"group_size must be >= 1, got {group_size}")
+    levels = view.levels()
+    if len(levels) < 2:
+        return []
+
+    # Step 2: first level Li with |Li| < K <= |Li+1|.
+    anchor = None
+    for i in range(len(levels) - 1):
+        if len(levels[i]) < group_size <= len(levels[i + 1]):
+            anchor = i
+            break
+    if anchor is None:
+        # The tree is narrower than K everywhere (or wider from level 1):
+        # anchor at the deepest level that still has children, or level 0.
+        anchor = 0
+        for i in range(len(levels) - 1):
+            if len(levels[i]) < group_size:
+                anchor = i
+
+    # Step 3: seed G0 with random children of the anchor level's nodes.
+    g0: List[int] = []
+    available: Dict[int, List[int]] = {
+        vid: view.children_of(vid) for vid in levels[anchor]
+    }
+    while len(g0) < group_size:
+        progress = False
+        for vid in levels[anchor]:
+            children = available[vid]
+            if not children:
+                continue
+            pick = children.pop(int(rng.integers(0, len(children))))
+            g0.append(pick)
+            progress = True
+            if len(g0) >= group_size:
+                break
+        if not progress:
+            break
+
+    # Step 4: one random descendant (or the subtree root itself) per G0
+    # member.  Picking inside the subtree balances repair load.
+    group: List[int] = []
+    for root_of_subtree in g0:
+        pool = view.descendants_of(root_of_subtree)
+        pool.append(root_of_subtree)
+        group.append(pool[int(rng.integers(0, len(pool)))])
+    return group
+
+
+def select_random_group(
+    view: PartialTreeView,
+    group_size: int,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Baseline: uniformly random recovery nodes from the same view
+    (ignores loss correlation entirely)."""
+    candidates = [
+        member_id for member_id in view.member_ids() if member_id != view.root_id
+    ]
+    if not candidates:
+        return []
+    if len(candidates) <= group_size:
+        return list(candidates)
+    picks = rng.choice(len(candidates), size=group_size, replace=False)
+    return [candidates[int(i)] for i in picks]

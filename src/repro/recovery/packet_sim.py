@@ -1,0 +1,214 @@
+"""Event-driven, per-packet reference simulator for one recovery episode.
+
+:func:`repro.recovery.episode.starvation_episode` prices episodes with
+closed-form vectorised arithmetic — fast enough to run inside every churn
+simulation.  This module simulates the *same* episode packet by packet on
+the discrete-event kernel: the repair request travels down the recovery
+list, each source enqueues its assigned range and transmits at its
+residual rate, and the requester checks every packet against its playback
+deadline.  The two implementations must agree exactly; the test suite
+holds them to that (property-based, over random episodes).
+
+Besides serving as the verification oracle, the event-driven simulator
+also reports per-packet arrival times, which the examples use to plot
+repair timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import RecoveryError
+from ..sim.engine import Simulator
+from .episode import BackfillSpec, EpisodeOutcome, RepairSource
+
+#: Keep in sync with repro.recovery.episode._MIN_RATE_PPS.
+_MIN_RATE_PPS = 1e-9
+
+
+@dataclass
+class PacketRecord:
+    """Fate of one gap packet."""
+
+    sequence: int
+    deadline_s: float
+    arrival_s: Optional[float]  # None = never repaired
+    source_id: Optional[int]
+
+    @property
+    def in_time(self) -> bool:
+        return self.arrival_s is not None and self.arrival_s <= self.deadline_s
+
+
+class EpisodeSimulator:
+    """Simulate one disruption episode at packet granularity."""
+
+    def __init__(
+        self,
+        gap_packets: int,
+        packet_rate_pps: float,
+        buffer_ahead_s: float,
+        detect_s: float,
+        request_hop_s: float,
+        sources: Sequence[RepairSource],
+        striped: bool,
+        backfill: Optional[BackfillSpec] = None,
+    ):
+        if gap_packets < 0:
+            raise RecoveryError(f"gap_packets must be >= 0, got {gap_packets}")
+        if packet_rate_pps <= 0:
+            raise RecoveryError("packet_rate_pps must be > 0")
+        self.gap_packets = gap_packets
+        self.packet_rate_pps = packet_rate_pps
+        self.buffer_ahead_s = buffer_ahead_s
+        self.detect_s = detect_s
+        self.request_hop_s = request_hop_s
+        self.sources = list(sources)
+        self.striped = striped
+        self.backfill = backfill
+        self.records: List[PacketRecord] = [
+            PacketRecord(
+                sequence=k,
+                deadline_s=k / packet_rate_pps + buffer_ahead_s,
+                arrival_s=None,
+                source_id=None,
+            )
+            for k in range(gap_packets)
+        ]
+
+    # -- request routing ---------------------------------------------------------
+
+    def _assignments(self) -> List[tuple]:
+        """[(source, start_time, [sequences])] in contact order."""
+        plans: List[tuple] = []
+        hops = 0
+        if self.striped:
+            mod = [(k % 100) / 100.0 for k in range(self.gap_packets)]
+            cum = 0.0
+            for source in self.sources:
+                start = self.detect_s + hops * self.request_hop_s
+                hops += 1
+                if not source.has_data or source.rate_pps <= _MIN_RATE_PPS:
+                    continue
+                low = cum
+                high = min(1.0, cum + source.rate_pps / self.packet_rate_pps)
+                assigned = [
+                    k for k in range(self.gap_packets) if low <= mod[k] < high
+                ]
+                plans.append((source, start, assigned))
+                cum = high
+                if cum >= 1.0:
+                    break
+        else:
+            for source in self.sources:
+                start = self.detect_s + hops * self.request_hop_s
+                hops += 1
+                if not source.has_data or source.rate_pps <= _MIN_RATE_PPS:
+                    continue
+                plans.append((source, start, list(range(self.gap_packets))))
+                break
+        return plans
+
+    # -- simulation ----------------------------------------------------------------
+
+    def run(self) -> EpisodeOutcome:
+        if self.gap_packets == 0:
+            # Nothing was lost; mirror the vectorised model's early return.
+            return EpisodeOutcome(0, 0, 0, 0.0, self.detect_s, 0.0)
+        sim = Simulator()
+        coverage = 0.0
+        repair_end = self.detect_s
+
+        def transmit(source: RepairSource, queue: List[int]) -> None:
+            if not queue:
+                return
+            sequence = queue.pop(0)
+            record = self.records[sequence]
+            record.arrival_s = sim.now
+            record.source_id = source.member_id
+            sim.schedule_in(
+                1.0 / source.rate_pps, lambda: transmit(source, queue)
+            )
+
+        for source, start, assigned in self._assignments():
+            coverage = min(
+                1.0, coverage + source.rate_pps / self.packet_rate_pps
+            ) if self.striped else min(1.0, source.rate_pps / self.packet_rate_pps)
+            queue = list(assigned)
+            # the first packet leaves one transmission period after the
+            # request reaches the source
+            sim.schedule_at(
+                start + 1.0 / source.rate_pps,
+                lambda s=source, q=queue: transmit(s, q),
+            )
+        sim.run()
+        primary_arrivals = [
+            r.arrival_s for r in self.records if r.arrival_s is not None
+        ]
+        if primary_arrivals:
+            repair_end = max(repair_end, max(primary_arrivals))
+
+        # Second phase: the new parent replays, in sequence order, every
+        # buffered gap packet the group repair did not deliver in time.
+        spec = self.backfill
+        if spec is not None and spec.rate_pps > _MIN_RATE_PPS:
+            eligible = [
+                r
+                for r in self.records
+                if r.sequence >= spec.cutoff_seq and not r.in_time
+            ]
+            repair_end = max(
+                repair_end, spec.start_s + len(eligible) / spec.rate_pps
+            )
+            replay_sim = Simulator()
+
+            def replay(queue: List[PacketRecord]) -> None:
+                if not queue:
+                    return
+                record = queue.pop(0)
+                if record.arrival_s is None or replay_sim.now < record.arrival_s:
+                    record.arrival_s = replay_sim.now
+                    record.source_id = -1  # the new parent
+                replay_sim.schedule_in(1.0 / spec.rate_pps, lambda: replay(queue))
+
+            replay_sim.schedule_at(
+                spec.start_s + 1.0 / spec.rate_pps,
+                lambda q=list(eligible): replay(q),
+            )
+            replay_sim.run()
+
+        repaired = sum(1 for r in self.records if r.in_time)
+        missed = self.gap_packets - repaired
+        return EpisodeOutcome(
+            gap_packets=self.gap_packets,
+            repaired_in_time=repaired,
+            missed_packets=missed,
+            starving_s=missed / self.packet_rate_pps,
+            repair_end_s=repair_end,
+            coverage=coverage,
+        )
+
+
+def simulate_episode(
+    gap_packets: int,
+    packet_rate_pps: float,
+    buffer_ahead_s: float,
+    detect_s: float,
+    request_hop_s: float,
+    sources: Sequence[RepairSource],
+    striped: bool,
+    backfill: Optional[BackfillSpec] = None,
+) -> EpisodeOutcome:
+    """Functional entry point mirroring
+    :func:`repro.recovery.episode.starvation_episode`."""
+    return EpisodeSimulator(
+        gap_packets=gap_packets,
+        packet_rate_pps=packet_rate_pps,
+        buffer_ahead_s=buffer_ahead_s,
+        detect_s=detect_s,
+        request_hop_s=request_hop_s,
+        sources=sources,
+        striped=striped,
+        backfill=backfill,
+    ).run()

@@ -1,0 +1,69 @@
+"""Recovery scheme descriptors: what Figures 12-14 compare.
+
+A scheme fixes (a) how recovery nodes are selected (MLC vs uniform
+random), (b) how many are used, (c) whether repair is striped across
+residual bandwidths (CER) or served by a single source at a time, and
+(d) the playback buffer size.  Scheme evaluation itself happens in
+:class:`repro.simulation.streaming.RecoverySimulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import RecoveryError
+
+
+@dataclass(frozen=True)
+class RecoveryScheme:
+    """One point in the recovery design space."""
+
+    name: str
+    group_size: int
+    #: Minimum-loss-correlation selection (Algorithm 1) vs uniform random.
+    use_mlc: bool
+    #: CER residual-bandwidth striping vs single-source-at-a-time repair.
+    striped: bool
+    #: Playback buffer in seconds.
+    buffer_s: float
+    #: Whether descendants rely on upstream recovery via ELN (the paper's
+    #: behaviour).  When False, every affected member recovers
+    #: independently with its own group (ELN ablation).
+    eln: bool = True
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1:
+            raise RecoveryError(f"group_size must be >= 1, got {self.group_size}")
+        if self.buffer_s <= 0:
+            raise RecoveryError(f"buffer_s must be > 0, got {self.buffer_s}")
+
+
+def cer_scheme(
+    group_size: int, buffer_s: float = 5.0, eln: bool = True
+) -> RecoveryScheme:
+    """The paper's CER: MLC-selected group, striped repair."""
+    return RecoveryScheme(
+        name=f"cer-k{group_size}-b{buffer_s:g}" + ("" if eln else "-noeln"),
+        group_size=group_size,
+        use_mlc=True,
+        striped=True,
+        buffer_s=buffer_s,
+        eln=eln,
+    )
+
+
+def single_source_scheme(
+    group_size: int, buffer_s: float = 5.0, use_mlc: bool = False
+) -> RecoveryScheme:
+    """The baseline of Fig. 14: recovery from one source at a time.
+
+    ``group_size`` > 1 provides fallbacks only (contacted when an earlier
+    node is dead, affected or has no residual bandwidth).
+    """
+    return RecoveryScheme(
+        name=f"ss-k{group_size}-b{buffer_s:g}" + ("-mlc" if use_mlc else ""),
+        group_size=group_size,
+        use_mlc=use_mlc,
+        striped=False,
+        buffer_s=buffer_s,
+    )

@@ -1,0 +1,22 @@
+"""Discrete-event simulation kernel.
+
+A deliberately small, dependency-free kernel: a binary-heap event queue
+(:mod:`repro.sim.events`), a virtual-clock engine with run-until semantics
+(:mod:`repro.sim.engine`), periodic/one-shot process helpers
+(:mod:`repro.sim.process`) and named, independently seeded RNG streams
+(:mod:`repro.sim.rng`).
+"""
+
+from .engine import Simulator
+from .events import Event, EventQueue
+from .process import PeriodicProcess, Timer
+from .rng import RngRegistry
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "PeriodicProcess",
+    "RngRegistry",
+    "Simulator",
+    "Timer",
+]

@@ -1,0 +1,120 @@
+"""The simulation engine: a virtual clock driving an event queue."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from .events import Event, EventQueue
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule_at(10.0, lambda: print("fires at t=10"))
+        sim.run_until(100.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-fired events."""
+        return len(self._queue)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute virtual time ``time``.
+
+        Scheduling in the past raises :class:`SimulationError` — silent
+        time travel is a classic source of unreproducible runs.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self._now})"
+            )
+        return self._queue.schedule(time, action, priority, label)
+
+    def schedule_in(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` after a relative ``delay`` (>= 0) seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self._queue.schedule(self._now + delay, action, priority, label)
+
+    def run_until(self, end_time: float) -> None:
+        """Process events in order until virtual time reaches ``end_time``.
+
+        The clock is left exactly at ``end_time`` even if the queue drains
+        earlier, so back-to-back ``run_until`` calls compose naturally.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"run_until({end_time}) but now is t={self._now}"
+            )
+        if self._running:
+            raise SimulationError("run_until re-entered from an event action")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                self._events_processed += 1
+                event.action()
+            self._now = end_time
+        finally:
+            self._running = False
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Drain the queue completely (or up to ``max_events`` events)."""
+        if self._running:
+            raise SimulationError("run re-entered from an event action")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                self._events_processed += 1
+                event.action()
+                fired += 1
+        finally:
+            self._running = False
+
+    def reset(self) -> None:
+        """Clear all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._events_processed = 0

@@ -1,0 +1,103 @@
+"""Event and event-queue primitives for the discrete-event kernel.
+
+Events are ordered by ``(time, priority, sequence)``.  The monotonically
+increasing sequence number makes ordering total and deterministic: two
+events scheduled for the same instant at the same priority fire in the
+order they were scheduled, which keeps every simulation run exactly
+reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`EventQueue.schedule`; user code normally
+    holds one only to :meth:`cancel` it.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when it reaches the queue head.
+
+        Cancellation is lazy (O(1)): the entry stays in the heap and is
+        dropped when it surfaces.  Cancelling twice is a no-op.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._live -= 1
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of pending (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def schedule(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Insert ``action`` to fire at ``time``; returns a cancellable handle."""
+        if time != time:  # NaN guard
+            raise SimulationError("cannot schedule an event at time NaN")
+        event = Event(time, priority, next(self._seq), action, label, False, self)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event:
+        """Remove and return the next live event."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Discard every pending event."""
+        for event in self._heap:
+            event.cancelled = True
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,115 @@
+"""Timer and periodic-process helpers built on top of :class:`Simulator`.
+
+These are thin conveniences: protocols in this codebase (e.g. the ROST
+switching loop, gossip refresh) are naturally expressed as "do X every T
+seconds, with optional jitter, until stopped".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from .engine import Simulator
+from .events import Event
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    ``start`` schedules the callback after the timer's delay; ``restart``
+    cancels any pending firing and schedules anew (the idiom for failure
+    detectors and retry backoffs).
+    """
+
+    def __init__(self, sim: Simulator, delay: float, action: Callable[[], None]):
+        if delay < 0:
+            raise SimulationError(f"negative timer delay {delay}")
+        self._sim = sim
+        self.delay = delay
+        self._action = action
+        self._event: Optional[Event] = None
+
+    @property
+    def pending(self) -> bool:
+        """True if the timer is armed and has not fired or been cancelled."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self) -> None:
+        """Arm the timer; raises if it is already armed."""
+        if self.pending:
+            raise SimulationError("timer already armed")
+        self._event = self._sim.schedule_in(self.delay, self._fire)
+
+    def restart(self) -> None:
+        """(Re-)arm the timer, cancelling any pending firing first."""
+        self.cancel()
+        self._event = self._sim.schedule_in(self.delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed; no-op otherwise."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._action()
+
+
+class PeriodicProcess:
+    """Repeats an action every ``interval`` seconds until stopped.
+
+    An optional ``jitter`` callable returning a per-round offset decorrelates
+    the phase of many concurrent processes (e.g. per-node switching loops),
+    mirroring how real deployments avoid synchronized rounds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        action: Callable[[], None],
+        jitter: Optional[Callable[[], float]] = None,
+    ):
+        if interval <= 0:
+            raise SimulationError(f"period must be > 0, got {interval}")
+        self._sim = sim
+        self.interval = interval
+        self._action = action
+        self._jitter = jitter
+        self._event: Optional[Event] = None
+        self._stopped = True
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Begin firing; the first round happens after ``initial_delay``
+        (default: one full interval, plus jitter if configured)."""
+        if not self._stopped:
+            raise SimulationError("periodic process already running")
+        self._stopped = False
+        delay = self.interval if initial_delay is None else initial_delay
+        delay += self._draw_jitter()
+        self._event = self._sim.schedule_in(max(0.0, delay), self._tick)
+
+    def stop(self) -> None:
+        """Stop firing; safe to call multiple times or from the action."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _draw_jitter(self) -> float:
+        return self._jitter() if self._jitter is not None else 0.0
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._action()
+        if self._stopped:  # the action may have stopped us
+            return
+        delay = max(0.0, self.interval + self._draw_jitter())
+        self._event = self._sim.schedule_in(delay, self._tick)

@@ -1,0 +1,23 @@
+"""Simulation drivers: churn (Figures 4-11) and packet-level recovery
+(Figures 12-14).
+
+:class:`~repro.simulation.churn.ChurnSimulation` replays a generated
+workload against one tree protocol, maintaining the overlay under joins,
+abrupt departures and rejoins, and collecting the paper's reliability and
+quality metrics.  :class:`~repro.simulation.streaming.RecoverySimulation`
+layers the CER / single-source loss-recovery models on top, turning every
+disruption into a packet-level starvation episode.
+"""
+
+from .churn import ChurnRunResult, ChurnSimulation
+from .probe import PROBE_MEMBER_ID, make_probe_session
+from .streaming import RecoveryObserver, RecoverySimulation
+
+__all__ = [
+    "PROBE_MEMBER_ID",
+    "ChurnRunResult",
+    "ChurnSimulation",
+    "RecoveryObserver",
+    "RecoverySimulation",
+    "make_probe_session",
+]

@@ -1,0 +1,36 @@
+"""The "typical member" probe of Figures 6 and 9.
+
+The paper observes one member "with a moderate bandwidth and a long
+lifetime in order to observe the network over a long period", joining
+after the network enters a steady state.  The probe is an ordinary
+session with a reserved member id; the churn driver records its
+cumulative-disruption and service-delay time series.
+"""
+
+from __future__ import annotations
+
+from ..workload.session import Session
+
+#: Reserved member id for the probe (never produced by the generator).
+PROBE_MEMBER_ID = 10**9
+
+
+def make_probe_session(
+    arrival_s: float,
+    lifetime_s: float = 300 * 60.0,
+    bandwidth: float = 2.0,
+    underlay_node: int = 0,
+) -> Session:
+    """Build the probe session.
+
+    Defaults follow the figures: a 300-minute observation span and a
+    moderate bandwidth (out-degree 2 at unit stream rate — enough to be
+    promotable but far from a super-node).
+    """
+    return Session(
+        member_id=PROBE_MEMBER_ID,
+        arrival_s=arrival_s,
+        lifetime_s=lifetime_s,
+        bandwidth=bandwidth,
+        underlay_node=underlay_node,
+    )

@@ -1,0 +1,26 @@
+"""Network underlay: transit-stub topology generation and delay queries.
+
+This subpackage replaces the GT-ITM tool the paper used.  It provides:
+
+* :mod:`repro.topology.graph` — a small undirected weighted graph with
+  Dijkstra / connectivity utilities (the reference implementation that the
+  fast oracle is verified against);
+* :mod:`repro.topology.transit_stub` — the generator producing the paper's
+  15600-node two-level hierarchy with its exact delay ranges;
+* :mod:`repro.topology.routing` — a hierarchical shortest-path oracle
+  answering pairwise delay queries in O(1) after a cheap precompute.
+"""
+
+from .euclidean import EuclideanUnderlay, generate_euclidean
+from .graph import Graph
+from .routing import DelayOracle
+from .transit_stub import TransitStubTopology, generate_transit_stub
+
+__all__ = [
+    "DelayOracle",
+    "EuclideanUnderlay",
+    "Graph",
+    "TransitStubTopology",
+    "generate_euclidean",
+    "generate_transit_stub",
+]

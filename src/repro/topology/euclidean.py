@@ -1,0 +1,94 @@
+"""A Euclidean latency-plane underlay — the lightweight alternative
+substrate.
+
+Hosts are points in a 2-D plane (the classic network-coordinates
+abstraction, cf. Vivaldi/GNP): pairwise delay is the Euclidean distance
+(in milliseconds) plus each endpoint's access-link delay.  Delays are
+symmetric, satisfy the triangle inequality, and cost O(1) per query at
+*any* scale with O(n) memory — no graph, no precompute.
+
+The figures all run on the paper's transit-stub underlay; the plane
+model exists to (a) check that the protocol conclusions do not hinge on
+transit-stub structure and (b) let users simulate populations far beyond
+what an explicit router graph supports.  It duck-types both the topology
+(``stub_nodes``) and the oracle (``delay_ms``) sides of the simulation
+API, so ``ChurnSimulation(config, proto, topology=plane, oracle=plane)``
+just works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import TopologyError
+
+
+@dataclass
+class EuclideanUnderlay:
+    """Latency plane: positions and per-host access delays, both in ms."""
+
+    positions: np.ndarray = field(repr=False)
+    access_delay_ms: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise TopologyError(
+                f"positions must be (n, 2), got {self.positions.shape}"
+            )
+        if self.access_delay_ms.shape != (self.positions.shape[0],):
+            raise TopologyError("access_delay_ms must have one entry per host")
+        if np.any(self.access_delay_ms < 0):
+            raise TopologyError("access delays must be >= 0")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def stub_nodes(self) -> List[int]:
+        """Every host can carry a member (duck-typing the transit-stub API)."""
+        return list(range(self.num_nodes))
+
+    def delay_ms(self, a: int, b: int) -> float:
+        """Plane distance plus both access links; zero to self."""
+        if not (0 <= a < self.num_nodes and 0 <= b < self.num_nodes):
+            raise TopologyError(f"unknown host id in ({a}, {b})")
+        if a == b:
+            return 0.0
+        diff = self.positions[a] - self.positions[b]
+        return float(
+            np.hypot(diff[0], diff[1])
+            + self.access_delay_ms[a]
+            + self.access_delay_ms[b]
+        )
+
+    def delays_from(self, source: int, targets) -> np.ndarray:
+        return np.array([self.delay_ms(source, t) for t in targets])
+
+
+def generate_euclidean(
+    num_hosts: int,
+    seed: int = 1,
+    plane_side_ms: float = 60.0,
+    access_delay_range_ms: Tuple[float, float] = (2.0, 9.0),
+) -> EuclideanUnderlay:
+    """Uniform host positions in a square of side ``plane_side_ms``.
+
+    The defaults give pairwise delays in roughly the same range as the
+    paper's transit-stub topology (tens of milliseconds coast-to-coast
+    plus a few milliseconds of access link on each side).
+    """
+    if num_hosts < 1:
+        raise TopologyError(f"num_hosts must be >= 1, got {num_hosts}")
+    if plane_side_ms <= 0:
+        raise TopologyError("plane_side_ms must be > 0")
+    lo, hi = access_delay_range_ms
+    if lo < 0 or hi < lo:
+        raise TopologyError("need 0 <= lo <= hi access delays")
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0.0, plane_side_ms, size=(num_hosts, 2))
+    access = rng.uniform(lo, hi, size=num_hosts)
+    return EuclideanUnderlay(positions=positions, access_delay_ms=access)

@@ -1,0 +1,135 @@
+"""Hierarchical shortest-path delay oracle for transit-stub topologies.
+
+Because stub domains are leaves hanging off a single gateway/access edge,
+every shortest path decomposes exactly as::
+
+    stub u --(intra-domain)--> gateway --(access)--> transit core
+           --(core shortest path)--> transit --(access)--> gateway
+           --(intra-domain)--> stub v
+
+so after precomputing (a) per-domain all-pairs distances and (b) transit
+core all-pairs distances, any pairwise delay is an O(1) lookup.  The
+decomposition is *exact* for the graphs produced by
+:func:`~repro.topology.transit_stub.generate_transit_stub` (verified
+against flat Dijkstra in the test suite).
+
+Precompute cost at paper scale: 960 Floyd-Warshall passes on 16x16
+matrices + 240 Dijkstras on the 240-node core — well under a second.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import TopologyError
+from .graph import Graph
+from .transit_stub import TransitStubTopology
+
+
+def _floyd_warshall(matrix: np.ndarray) -> np.ndarray:
+    """In-place Floyd-Warshall on a dense adjacency matrix (inf = absent)."""
+    n = matrix.shape[0]
+    for k in range(n):
+        np.minimum(matrix, matrix[:, k : k + 1] + matrix[k : k + 1, :], out=matrix)
+    return matrix
+
+
+class DelayOracle:
+    """O(1) pairwise underlay delay queries for a transit-stub topology."""
+
+    def __init__(self, topology: TransitStubTopology):
+        self._topology = topology
+        self._num_transit = len(topology.transit_nodes)
+        self._intra: List[np.ndarray] = []
+        self._local_index: Dict[int, int] = {}
+        self._build_intra_domain()
+        self._core = self._build_core()
+
+    # -- construction -------------------------------------------------------
+
+    def _build_intra_domain(self) -> None:
+        graph = self._topology.graph
+        for domain in self._topology.stub_domains:
+            nodes = domain.nodes
+            n = len(nodes)
+            index = {node: i for i, node in enumerate(nodes)}
+            for node, i in index.items():
+                self._local_index[node] = i
+            matrix = np.full((n, n), np.inf)
+            np.fill_diagonal(matrix, 0.0)
+            for node in nodes:
+                i = index[node]
+                for neighbor, weight in graph.neighbors(node):
+                    j = index.get(neighbor)
+                    if j is not None and weight < matrix[i, j]:
+                        matrix[i, j] = weight
+                        matrix[j, i] = weight
+            self._intra.append(_floyd_warshall(matrix))
+
+    def _build_core(self) -> np.ndarray:
+        """All-pairs shortest paths over the transit-only subgraph."""
+        graph = self._topology.graph
+        core = Graph(self._num_transit)
+        seen = set()
+        for u in range(self._num_transit):
+            for v, weight in graph.neighbors(u):
+                if v < self._num_transit and (v, u) not in seen:
+                    core.add_edge(u, v, weight)
+                    seen.add((u, v))
+        matrix = np.empty((self._num_transit, self._num_transit))
+        for u in range(self._num_transit):
+            matrix[u, :] = core.shortest_paths_from(u)
+        if not np.isfinite(matrix).all():
+            raise TopologyError("transit core is disconnected")
+        return matrix
+
+    # -- queries --------------------------------------------------------------
+
+    def delay_ms(self, u: int, v: int) -> float:
+        """Exact shortest-path delay between any two underlay nodes, ms."""
+        if u == v:
+            return 0.0
+        topo = self._topology
+        u_transit = topo.is_transit(u)
+        v_transit = topo.is_transit(v)
+        if u_transit and v_transit:
+            return float(self._core[u, v])
+        if u_transit:
+            return self._transit_to_stub(u, v)
+        if v_transit:
+            return self._transit_to_stub(v, u)
+        du = topo.domain_of(u)
+        dv = topo.domain_of(v)
+        if du.domain_id == dv.domain_id:
+            return float(
+                self._intra[du.domain_id][self._local_index[u], self._local_index[v]]
+            )
+        return (
+            self._stub_to_gateway(u)
+            + du.access_delay_ms
+            + float(self._core[du.transit_node, dv.transit_node])
+            + dv.access_delay_ms
+            + self._stub_to_gateway(v)
+        )
+
+    def delays_from(self, source: int, targets: Sequence[int]) -> np.ndarray:
+        """Vector of delays from ``source`` to each of ``targets``."""
+        return np.array([self.delay_ms(source, t) for t in targets])
+
+    def _stub_to_gateway(self, node: int) -> float:
+        domain = self._topology.domain_of(node)
+        return float(
+            self._intra[domain.domain_id][
+                self._local_index[node], self._local_index[domain.gateway]
+            ]
+        )
+
+    def _transit_to_stub(self, transit: int, stub: int) -> float:
+        domain = self._topology.domain_of(stub)
+        return (
+            self._stub_to_gateway(stub)
+            + domain.access_delay_ms
+            + float(self._core[domain.transit_node, transit])
+        )

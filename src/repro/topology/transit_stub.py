@@ -1,0 +1,197 @@
+"""Transit-stub topology generation (GT-ITM replacement).
+
+The generator builds the two-level hierarchy the paper's simulator ran on:
+
+* a *transit core* of ``transit_domains`` domains, each a connected random
+  graph of ``transit_nodes_per_domain`` nodes; domains are interconnected
+  by a connected random domain-level graph, every transit edge drawing its
+  delay uniformly from the paper's [15, 25] ms range;
+* per transit node, ``stub_domains_per_transit`` *stub domains*, each a
+  connected random graph of ``stub_nodes_per_domain`` nodes with [2, 4] ms
+  edges, attached to its transit node through a single gateway stub node
+  over a [5, 9] ms access edge.
+
+With the default :class:`~repro.config.TopologyConfig` this yields exactly
+240 transit + 15360 stub = 15600 nodes, the population of the paper.
+
+Connectivity is guaranteed by construction (random spanning tree first,
+then extra random edges), so every delay query is finite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..config import TopologyConfig
+from ..errors import TopologyError
+from .graph import Graph
+
+
+@dataclass(frozen=True)
+class StubDomain:
+    """Metadata of one stub domain."""
+
+    domain_id: int
+    #: Global node ids of the domain members, in local index order.
+    nodes: Tuple[int, ...]
+    #: Global node id of the gateway (a member of ``nodes``).
+    gateway: int
+    #: Global node id of the transit node the gateway attaches to.
+    transit_node: int
+    #: Delay of the gateway <-> transit access edge, ms.
+    access_delay_ms: float
+
+
+@dataclass
+class TransitStubTopology:
+    """A generated underlay: the flat graph plus hierarchy metadata.
+
+    ``delay oracle`` construction (:class:`repro.topology.routing.DelayOracle`)
+    consumes the metadata; the flat :class:`Graph` is retained for
+    verification and for callers that want raw shortest paths.
+    """
+
+    config: TopologyConfig
+    graph: Graph
+    transit_nodes: Tuple[int, ...]
+    stub_domains: Tuple[StubDomain, ...]
+    #: For each node id: -1 if transit, else the id of its stub domain.
+    node_domain: np.ndarray = field(repr=False)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def stub_nodes(self) -> List[int]:
+        """All stub node ids (ascending)."""
+        return [n for d in self.stub_domains for n in d.nodes]
+
+    def is_transit(self, node: int) -> bool:
+        return self.node_domain[node] < 0
+
+    def domain_of(self, node: int) -> StubDomain:
+        """The stub domain containing ``node`` (transit nodes have none)."""
+        d = int(self.node_domain[node])
+        if d < 0:
+            raise TopologyError(f"node {node} is a transit node, not in a stub domain")
+        return self.stub_domains[d]
+
+
+def _random_connected_graph(
+    graph: Graph,
+    nodes: Sequence[int],
+    extra_edge_prob: float,
+    delay_range: Tuple[float, float],
+    rng: np.random.Generator,
+) -> None:
+    """Wire ``nodes`` into a connected random subgraph.
+
+    A uniformly shuffled spanning tree guarantees connectivity; each
+    remaining pair gains an edge with probability ``extra_edge_prob``.
+    Edge delays draw uniformly from ``delay_range``.
+    """
+    lo, hi = delay_range
+    order = list(nodes)
+    rng.shuffle(order)
+    for i in range(1, len(order)):
+        # Attach to a random earlier node: a uniform random recursive tree.
+        j = int(rng.integers(0, i))
+        graph.add_edge(order[i], order[j], float(rng.uniform(lo, hi)))
+    if extra_edge_prob <= 0 or len(order) < 3:
+        return
+    for a in range(len(order)):
+        for b in range(a + 1, len(order)):
+            if graph.has_edge(order[a], order[b]):
+                continue
+            if rng.random() < extra_edge_prob:
+                graph.add_edge(order[a], order[b], float(rng.uniform(lo, hi)))
+
+
+def generate_transit_stub(config: TopologyConfig) -> TransitStubTopology:
+    """Generate a transit-stub underlay from ``config`` (deterministic in
+    ``config.seed``)."""
+    rng = np.random.default_rng(config.seed)
+
+    num_transit = config.total_transit_nodes
+    total_nodes = config.total_nodes
+    graph = Graph(total_nodes)
+    node_domain = np.full(total_nodes, -1, dtype=np.int32)
+
+    # --- transit core -----------------------------------------------------
+    transit_by_domain: List[List[int]] = []
+    next_id = 0
+    for _ in range(config.transit_domains):
+        members = list(range(next_id, next_id + config.transit_nodes_per_domain))
+        next_id += config.transit_nodes_per_domain
+        transit_by_domain.append(members)
+        _random_connected_graph(
+            graph,
+            members,
+            config.transit_edge_prob,
+            config.transit_transit_delay_ms,
+            rng,
+        )
+
+    # Domain-level interconnection: spanning tree over domains plus a few
+    # extra domain pairs, each realized as one edge between random member
+    # transit nodes.
+    lo, hi = config.transit_transit_delay_ms
+    domain_order = list(range(config.transit_domains))
+    rng.shuffle(domain_order)
+    for i in range(1, len(domain_order)):
+        j = int(rng.integers(0, i))
+        a = int(rng.choice(transit_by_domain[domain_order[i]]))
+        b = int(rng.choice(transit_by_domain[domain_order[j]]))
+        graph.add_edge(a, b, float(rng.uniform(lo, hi)))
+    if config.transit_domains >= 3:
+        for a_dom in range(config.transit_domains):
+            for b_dom in range(a_dom + 1, config.transit_domains):
+                if rng.random() < 0.3:
+                    a = int(rng.choice(transit_by_domain[a_dom]))
+                    b = int(rng.choice(transit_by_domain[b_dom]))
+                    if not graph.has_edge(a, b):
+                        graph.add_edge(a, b, float(rng.uniform(lo, hi)))
+
+    # --- stub domains ------------------------------------------------------
+    stub_domains: List[StubDomain] = []
+    ts_lo, ts_hi = config.transit_stub_delay_ms
+    for transit_node in range(num_transit):
+        for _ in range(config.stub_domains_per_transit):
+            members = tuple(range(next_id, next_id + config.stub_nodes_per_domain))
+            next_id += config.stub_nodes_per_domain
+            _random_connected_graph(
+                graph,
+                members,
+                config.stub_edge_prob,
+                config.stub_stub_delay_ms,
+                rng,
+            )
+            gateway = int(rng.choice(members))
+            access = float(rng.uniform(ts_lo, ts_hi))
+            graph.add_edge(gateway, transit_node, access)
+            domain = StubDomain(
+                domain_id=len(stub_domains),
+                nodes=members,
+                gateway=gateway,
+                transit_node=transit_node,
+                access_delay_ms=access,
+            )
+            node_domain[list(members)] = domain.domain_id
+            stub_domains.append(domain)
+
+    if next_id != total_nodes:
+        raise TopologyError(
+            f"generator wired {next_id} nodes, expected {total_nodes}"
+        )
+
+    return TransitStubTopology(
+        config=config,
+        graph=graph,
+        transit_nodes=tuple(range(num_transit)),
+        stub_domains=tuple(stub_domains),
+        node_domain=node_domain,
+    )

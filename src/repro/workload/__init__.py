@@ -1,0 +1,24 @@
+"""Workload model: member bandwidths, lifetimes and the arrival process.
+
+Implements Section 5 of the paper: outbound bandwidths follow a Bounded
+Pareto distribution (shape 1.2, bounds [0.5, 100]) so that ~55% of members
+are free-riders; lifetimes follow a lognormal (location 5.5, shape 2.0)
+with mean ~1809 s; arrivals are Poisson with rate fixed by Little's law so
+the steady-state population hits the experiment's target M.
+"""
+
+from .distributions import BoundedPareto, LogNormalLifetime
+from .generator import ChurnWorkload, generate_workload
+from .session import RootSpec, Session
+from .trace_io import load_workload, save_workload
+
+__all__ = [
+    "BoundedPareto",
+    "ChurnWorkload",
+    "LogNormalLifetime",
+    "RootSpec",
+    "Session",
+    "generate_workload",
+    "load_workload",
+    "save_workload",
+]

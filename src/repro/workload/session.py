@@ -1,0 +1,60 @@
+"""Session traces: the unit of workload consumed by the churn simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Session:
+    """One member's visit to the multicast group.
+
+    A session is fully determined before the simulation starts (arrival
+    time, lifetime, bandwidth, attachment point), which lets every protocol
+    be evaluated on a byte-identical workload.
+    """
+
+    member_id: int
+    arrival_s: float
+    lifetime_s: float
+    #: Outbound (access uplink) bandwidth in stream-rate units.
+    bandwidth: float
+    #: Underlay stub node this member sits on.
+    underlay_node: int
+    #: Time the member had already spent in the overlay before the
+    #: simulation started (> 0 only for the stationary initial population;
+    #: ages matter to the time-ordered and BTP-based protocols).
+    initial_age_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ConfigError(f"negative arrival time {self.arrival_s}")
+        if self.lifetime_s <= 0:
+            raise ConfigError(f"lifetime must be > 0, got {self.lifetime_s}")
+        if self.bandwidth < 0:
+            raise ConfigError(f"negative bandwidth {self.bandwidth}")
+        if self.initial_age_s < 0:
+            raise ConfigError(f"negative initial age {self.initial_age_s}")
+        if self.initial_age_s > 0 and self.arrival_s > 0:
+            raise ConfigError("only initial (t=0) members may carry an age")
+
+    @property
+    def departure_s(self) -> float:
+        return self.arrival_s + self.lifetime_s
+
+    def out_degree(self, stream_rate: float) -> int:
+        """Number of full-rate children this member can serve."""
+        return int(self.bandwidth / stream_rate)
+
+
+@dataclass(frozen=True)
+class RootSpec:
+    """The multicast source: present for the whole run, never fails."""
+
+    bandwidth: float
+    underlay_node: int
+
+    def out_degree(self, stream_rate: float) -> int:
+        return int(self.bandwidth / stream_rate)

@@ -1,0 +1,94 @@
+"""Workload trace serialization.
+
+A :class:`~repro.workload.generator.ChurnWorkload` fully determines the
+member population a run sees; saving it lets experiments be re-run (and
+shared) bit-for-bit without re-generating from seeds — e.g. to compare a
+code change on a frozen trace, or to feed the same churn into an external
+system.  The format is a single JSON document with a version tag and the
+originating configuration, so loads validate against schema drift.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+from ..config import WorkloadConfig
+from ..errors import ConfigError
+from .generator import ChurnWorkload
+from .session import RootSpec, Session
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def workload_to_dict(workload: ChurnWorkload) -> dict:
+    """A JSON-serialisable representation of the whole trace."""
+    return {
+        "format": "repro-churn-trace",
+        "version": FORMAT_VERSION,
+        "config": dataclasses.asdict(workload.config),
+        "horizon_s": workload.horizon_s,
+        "root": {
+            "bandwidth": workload.root.bandwidth,
+            "underlay_node": workload.root.underlay_node,
+        },
+        "sessions": [
+            {
+                "id": s.member_id,
+                "arrival_s": s.arrival_s,
+                "lifetime_s": s.lifetime_s,
+                "bandwidth": s.bandwidth,
+                "underlay_node": s.underlay_node,
+                "initial_age_s": s.initial_age_s,
+            }
+            for s in workload.sessions
+        ],
+    }
+
+
+def workload_from_dict(data: dict) -> ChurnWorkload:
+    """Reconstruct a trace; raises :class:`ConfigError` on schema drift."""
+    if data.get("format") != "repro-churn-trace":
+        raise ConfigError(f"not a churn trace: format={data.get('format')!r}")
+    if data.get("version") != FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported trace version {data.get('version')!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    try:
+        config = WorkloadConfig(**data["config"])
+        root = RootSpec(
+            bandwidth=data["root"]["bandwidth"],
+            underlay_node=data["root"]["underlay_node"],
+        )
+        sessions = [
+            Session(
+                member_id=row["id"],
+                arrival_s=row["arrival_s"],
+                lifetime_s=row["lifetime_s"],
+                bandwidth=row["bandwidth"],
+                underlay_node=row["underlay_node"],
+                initial_age_s=row.get("initial_age_s", 0.0),
+            )
+            for row in data["sessions"]
+        ]
+        horizon = float(data["horizon_s"])
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed churn trace: {exc}") from exc
+    return ChurnWorkload(
+        config=config, root=root, sessions=sessions, horizon_s=horizon
+    )
+
+
+def save_workload(workload: ChurnWorkload, path: PathLike) -> None:
+    """Write the trace as JSON."""
+    Path(path).write_text(json.dumps(workload_to_dict(workload)))
+
+
+def load_workload(path: PathLike) -> ChurnWorkload:
+    """Read a trace written by :func:`save_workload`."""
+    return workload_from_dict(json.loads(Path(path).read_text()))

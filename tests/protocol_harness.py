@@ -1,0 +1,64 @@
+"""A deterministic harness for driving protocols without the churn driver.
+
+Builds a real ProtocolContext (simulator, tree, membership, oracle) over
+the session-scoped tiny topology, with helpers to add members at chosen
+bandwidths/ages so protocol decisions can be asserted precisely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ProtocolConfig
+from repro.overlay.membership import MembershipService
+from repro.overlay.node import OverlayNode
+from repro.overlay.tree import MulticastTree
+from repro.protocols.base import ProtocolContext
+from repro.sim.engine import Simulator
+
+
+class Harness:
+    def __init__(self, topology, oracle, protocol_config=None, seed=99, root_cap=4):
+        self.topology = topology
+        self.oracle = oracle
+        self.sim = Simulator()
+        stubs = topology.stub_nodes
+        self._stubs = stubs
+        root = OverlayNode(
+            member_id=0,
+            underlay_node=stubs[0],
+            bandwidth=float(root_cap),
+            out_degree_cap=root_cap,
+            join_time=0.0,
+            is_root=True,
+        )
+        self.tree = MulticastTree(root)
+        self.membership = MembershipService(np.random.default_rng(seed))
+        self.membership.register(root)
+        self.ctx = ProtocolContext(
+            sim=self.sim,
+            tree=self.tree,
+            membership=self.membership,
+            oracle=oracle,
+            config=protocol_config or ProtocolConfig(),
+            stream_rate=1.0,
+            rng=np.random.default_rng(seed + 1),
+        )
+        self._next_id = 1
+
+    def new_member(self, bandwidth=2.0, cap=None, join_time=None, underlay_index=1):
+        node = OverlayNode(
+            member_id=self._next_id,
+            underlay_node=self._stubs[underlay_index % len(self._stubs)],
+            bandwidth=bandwidth,
+            out_degree_cap=int(bandwidth) if cap is None else cap,
+            join_time=self.sim.now if join_time is None else join_time,
+        )
+        self._next_id += 1
+        self.tree.add_member(node)
+        self.membership.register(node)
+        return node
+
+    def depart(self, node):
+        self.membership.unregister(node)
+        return self.tree.remove_departed(node)

@@ -1,0 +1,73 @@
+"""The repro-sim command-line front door."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *args):
+    code = main(list(args))
+    out = capsys.readouterr().out
+    return code, out
+
+
+BASE = ["--population", "200", "--scale", "0.05", "--seed", "3"]
+
+
+def test_basic_run(capsys):
+    code, out = run_cli(capsys, "--protocol", "rost", *BASE)
+    assert code == 0
+    assert "Run summary" in out
+    assert "disruptions / lifetime" in out
+    assert "switches" in out
+
+
+def test_anatomy_output(capsys):
+    code, out = run_cli(capsys, "--protocol", "min-depth", *BASE, "--anatomy")
+    assert code == 0
+    assert "Tree anatomy" in out
+    assert "BTP violations" in out
+
+
+def test_render_output(capsys):
+    code, out = run_cli(
+        capsys, "--protocol", "min-depth", *BASE, "--render", "--max-depth", "2"
+    )
+    assert code == 0
+    assert "root (cap" in out
+
+
+def test_trace_roundtrip(capsys, tmp_path):
+    trace = tmp_path / "trace.json"
+    code, out = run_cli(
+        capsys, "--protocol", "min-depth", *BASE, "--save-trace", str(trace)
+    )
+    assert code == 0
+    assert trace.exists()
+    code, out = run_cli(
+        capsys,
+        "--protocol",
+        "rost",
+        *BASE,
+        "--load-trace",
+        str(trace),
+    )
+    assert code == 0
+    assert "Run summary" in out
+
+
+def test_graceful_flag(capsys):
+    code, out = run_cli(capsys, "--protocol", "min-depth", *BASE, "--graceful", "1.0")
+    assert code == 0
+
+
+def test_gossip_membership(capsys):
+    code, out = run_cli(
+        capsys, "--protocol", "min-depth", *BASE, "--membership", "gossip"
+    )
+    assert code == 0
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(SystemExit):
+        main(["--protocol", "bogus"])

@@ -1,0 +1,173 @@
+"""Configuration validation and derived quantities."""
+
+import math
+
+import pytest
+
+from repro.config import (
+    PAPER_MEAN_LIFETIME_S,
+    ProtocolConfig,
+    RecoveryConfig,
+    SimulationConfig,
+    TopologyConfig,
+    WorkloadConfig,
+    paper_config,
+)
+from repro.errors import ConfigError
+
+
+class TestTopologyConfig:
+    def test_paper_defaults_node_counts(self):
+        cfg = TopologyConfig()
+        assert cfg.total_transit_nodes == 240
+        assert cfg.total_stub_nodes == 15360
+        assert cfg.total_nodes == 15600
+
+    def test_scaled_preserves_structure(self):
+        cfg = TopologyConfig().scaled(0.25)
+        assert cfg.transit_domains == 12
+        assert cfg.stub_domains_per_transit == 4
+        assert cfg.total_nodes < TopologyConfig().total_nodes
+
+    def test_scale_one_is_identity(self):
+        cfg = TopologyConfig()
+        assert cfg.scaled(1.0) is cfg
+
+    def test_scale_never_degenerates(self):
+        cfg = TopologyConfig().scaled(1e-6)
+        assert cfg.transit_nodes_per_domain >= 2
+        assert cfg.stub_nodes_per_domain >= 2
+
+    @pytest.mark.parametrize("field,value", [
+        ("transit_domains", 0),
+        ("stub_nodes_per_domain", 0),
+        ("transit_edge_prob", 1.5),
+        ("stub_edge_prob", -0.1),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ConfigError):
+            TopologyConfig(**{field: value})
+
+    def test_rejects_inverted_delay_range(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(stub_stub_delay_ms=(4.0, 2.0))
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig().scaled(0.0)
+
+
+class TestWorkloadConfig:
+    def test_mean_lifetime_matches_paper(self):
+        cfg = WorkloadConfig()
+        assert cfg.mean_lifetime_s == pytest.approx(PAPER_MEAN_LIFETIME_S)
+        # the paper quotes 1809 seconds
+        assert cfg.mean_lifetime_s == pytest.approx(1809, abs=1.5)
+
+    def test_littles_law_arrival_rate(self):
+        cfg = WorkloadConfig(target_population=8000)
+        assert cfg.arrival_rate == pytest.approx(8000 / cfg.mean_lifetime_s)
+
+    @pytest.mark.parametrize("field,value", [
+        ("target_population", 0),
+        ("stream_rate", 0.0),
+        ("root_bandwidth", 0.5),
+        ("pareto_shape", -1.0),
+        ("pareto_lower", 0.0),
+        ("lifetime_shape", 0.0),
+        ("lifetime_cap_s", 0.0),
+        ("max_initial_age_s", -1.0),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(**{field: value})
+
+
+class TestProtocolConfig:
+    def test_recovery_window_is_detect_plus_rejoin(self):
+        cfg = ProtocolConfig(failure_detect_s=5.0, rejoin_s=10.0)
+        assert cfg.recovery_window_s == 15.0
+
+    def test_referee_counts_must_exceed_one(self):
+        with pytest.raises(ConfigError):
+            ProtocolConfig(age_referees=1)
+        with pytest.raises(ConfigError):
+            ProtocolConfig(bandwidth_referees=0)
+
+    @pytest.mark.parametrize("field,value", [
+        ("join_candidates", 0),
+        ("partial_view_size", 0),
+        ("switch_interval_s", 0.0),
+        ("lock_retry_wait_s", -1.0),
+        ("well_known_top", -1),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ConfigError):
+            ProtocolConfig(**{field: value})
+
+
+class TestRecoveryConfig:
+    def test_buffer_packets(self):
+        cfg = RecoveryConfig(packet_rate_pps=10.0, buffer_s=5.0)
+        assert cfg.buffer_packets == 50
+
+    @pytest.mark.parametrize("field,value", [
+        ("packet_rate_pps", 0.0),
+        ("buffer_s", 0.0),
+        ("group_size", 0),
+        ("residual_max_pps", -1.0),
+        ("eln_gap_threshold", 0),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ConfigError):
+            RecoveryConfig(**{field: value})
+
+
+class TestSimulationConfig:
+    def test_horizon_composition(self):
+        cfg = SimulationConfig(warmup_lifetimes=2.0, measure_lifetimes=3.0)
+        assert cfg.horizon_s == pytest.approx(cfg.warmup_s + cfg.measure_s)
+        assert cfg.warmup_s == pytest.approx(2.0 * cfg.workload.mean_lifetime_s)
+
+    def test_with_population(self):
+        cfg = SimulationConfig().with_population(123)
+        assert cfg.workload.target_population == 123
+
+    def test_with_switch_interval(self):
+        cfg = SimulationConfig().with_switch_interval(480.0)
+        assert cfg.protocol.switch_interval_s == 480.0
+
+    def test_with_seed_changes_all_subseeds(self):
+        a = SimulationConfig().with_seed(1)
+        b = SimulationConfig().with_seed(2)
+        assert a.topology.seed != b.topology.seed
+        assert a.workload.seed != b.workload.seed
+        assert a.recovery.seed != b.recovery.seed
+
+    def test_rejects_empty_measure_window(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(measure_lifetimes=0.0)
+
+
+class TestPaperConfig:
+    def test_full_scale(self):
+        cfg = paper_config(population=8000, scale=1.0)
+        assert cfg.workload.target_population == 8000
+        assert cfg.topology.total_nodes == 15600
+
+    def test_scaled_population(self):
+        cfg = paper_config(population=8000, scale=0.1)
+        assert cfg.workload.target_population == 800
+        assert cfg.topology.total_nodes < 15600
+
+    def test_minimum_population_floor(self):
+        cfg = paper_config(population=10, scale=0.01)
+        assert cfg.workload.target_population >= 8
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigError):
+            paper_config(scale=-1.0)
+
+    def test_deterministic(self):
+        assert paper_config(seed=9) == paper_config(seed=9)
+        assert paper_config(seed=9) != paper_config(seed=10)

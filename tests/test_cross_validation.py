@@ -1,0 +1,105 @@
+"""Cross-validation against networkx and scipy.
+
+Independent implementations of the same math: our Dijkstra/hierarchical
+oracle against networkx shortest paths, and our inverse-CDF samplers
+against their own CDFs via Kolmogorov-Smirnov.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.config import TopologyConfig
+from repro.topology.graph import Graph
+from repro.topology.routing import DelayOracle
+from repro.topology.transit_stub import generate_transit_stub
+from repro.workload.distributions import BoundedPareto, LogNormalLifetime
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_nodes))
+    for u in range(graph.num_nodes):
+        for v, w in graph.neighbors(u):
+            if u < v:
+                # keep the lighter parallel edge, as Dijkstra would
+                if g.has_edge(u, v):
+                    g[u][v]["weight"] = min(g[u][v]["weight"], w)
+                else:
+                    g.add_edge(u, v, weight=w)
+    return g
+
+
+def test_dijkstra_matches_networkx_on_random_graphs():
+    rng = np.random.default_rng(7)
+    for trial in range(5):
+        n = int(rng.integers(10, 40))
+        graph = Graph(n)
+        for i in range(1, n):
+            graph.add_edge(i, int(rng.integers(0, i)), float(rng.uniform(1, 20)))
+        for _ in range(2 * n):
+            a, b = rng.integers(0, n, size=2)
+            if a != b:
+                graph.add_edge(int(a), int(b), float(rng.uniform(1, 20)))
+        nxg = to_networkx(graph)
+        source = int(rng.integers(0, n))
+        ours = graph.shortest_paths_from(source)
+        theirs = nx.single_source_dijkstra_path_length(nxg, source, weight="weight")
+        for target in range(n):
+            assert ours[target] == pytest.approx(theirs[target])
+
+
+def test_delay_oracle_matches_networkx_on_transit_stub():
+    cfg = TopologyConfig(
+        transit_domains=2,
+        transit_nodes_per_domain=3,
+        stub_domains_per_transit=2,
+        stub_nodes_per_domain=4,
+        seed=23,
+    )
+    topo = generate_transit_stub(cfg)
+    oracle = DelayOracle(topo)
+    nxg = to_networkx(topo.graph)
+    rng = np.random.default_rng(0)
+    for _ in range(150):
+        a, b = rng.integers(0, topo.num_nodes, size=2)
+        expected = nx.shortest_path_length(
+            nxg, int(a), int(b), weight="weight"
+        )
+        assert oracle.delay_ms(int(a), int(b)) == pytest.approx(expected)
+
+
+def test_bounded_pareto_sampler_ks():
+    dist = BoundedPareto(1.2, 0.5, 100.0)
+    rng = np.random.default_rng(5)
+    draws = dist.sample(rng, size=20_000)
+    statistic, pvalue = stats.kstest(draws, lambda x: np.asarray(dist.cdf(x)))
+    assert pvalue > 0.01, (statistic, pvalue)
+
+
+def test_lognormal_sampler_ks_against_scipy():
+    dist = LogNormalLifetime(5.5, 2.0)  # uncapped
+    rng = np.random.default_rng(5)
+    draws = dist.sample(rng, size=20_000)
+    scipy_dist = stats.lognorm(s=2.0, scale=np.exp(5.5))
+    statistic, pvalue = stats.kstest(draws, scipy_dist.cdf)
+    assert pvalue > 0.01, (statistic, pvalue)
+
+
+def test_length_biased_lognormal_ks_against_scipy():
+    dist = LogNormalLifetime(5.5, 2.0)
+    rng = np.random.default_rng(6)
+    draws = dist.sample_length_biased(rng, size=20_000)
+    scipy_dist = stats.lognorm(s=2.0, scale=np.exp(5.5 + 4.0))
+    statistic, pvalue = stats.kstest(draws, scipy_dist.cdf)
+    assert pvalue > 0.01, (statistic, pvalue)
+
+
+def test_pareto_analytic_mean_against_numeric_integration():
+    from scipy import integrate
+
+    dist = BoundedPareto(1.2, 0.5, 100.0)
+    # E[X] = integral of (1 - F(x)) dx over the support, plus the lower bound
+    tail = integrate.quad(lambda x: 1.0 - float(dist.cdf(x)), 0.5, 100.0)[0]
+    assert dist.mean() == pytest.approx(0.5 + tail, rel=1e-6)

@@ -1,0 +1,52 @@
+"""The example scripts must run end-to-end in --fast mode."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), "--fast", *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_quickstart():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "disruptions per lifetime" in proc.stdout
+    assert "BTP switches" in proc.stdout
+
+
+def test_flash_crowd():
+    proc = run_example("flash_crowd.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "min-depth" in proc.stdout and "rost" in proc.stdout
+
+
+def test_recovery_comparison():
+    proc = run_example("recovery_comparison.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "cer-k3-b5" in proc.stdout
+    assert "single-source" in proc.stdout
+
+
+def test_cheat_prevention():
+    proc = run_example("cheat_prevention.py", "--cheaters", "0.15")
+    assert proc.returncode == 0, proc.stderr
+    assert "referees on" in proc.stdout
+    assert "claims trusted" in proc.stdout
+
+
+def test_tree_anatomy():
+    proc = run_example("tree_anatomy.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "rost" in proc.stdout
+    assert "BTP violations" in proc.stdout

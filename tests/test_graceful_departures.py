@@ -1,0 +1,57 @@
+"""Graceful (announced) departures — the extension beyond the paper's
+abrupt-only extreme case."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.protocols import PROTOCOLS
+from repro.simulation.churn import ChurnSimulation
+from tests.conftest import small_sim_config
+
+
+@pytest.fixture(scope="module")
+def shared_infra():
+    sim = ChurnSimulation(small_sim_config(), PROTOCOLS["min-depth"])
+    return sim.topology, sim.oracle
+
+
+def run_with_fraction(fraction, shared_infra, seed=13, population=100):
+    topo, oracle = shared_infra
+    sim = ChurnSimulation(
+        small_sim_config(population=population, seed=seed),
+        PROTOCOLS["min-depth"],
+        topology=topo,
+        oracle=oracle,
+        graceful_departure_fraction=fraction,
+        check_invariants=True,
+    )
+    return sim.run()
+
+
+def test_all_graceful_means_no_disruptions(shared_infra):
+    result = run_with_fraction(1.0, shared_infra)
+    assert result.metrics.disruption_events == 0
+
+
+def test_graceful_fraction_reduces_disruptions(shared_infra):
+    abrupt = run_with_fraction(0.0, shared_infra)
+    half = run_with_fraction(0.5, shared_infra)
+    assert abrupt.metrics.disruption_events > 0
+    assert half.metrics.disruption_events < abrupt.metrics.disruption_events
+
+
+def test_graceful_children_still_reconnect(shared_infra):
+    result = run_with_fraction(1.0, shared_infra)
+    assert result.metrics.failure_reconnections > 0
+
+
+def test_invalid_fraction_rejected(shared_infra):
+    topo, oracle = shared_infra
+    with pytest.raises(SimulationError):
+        ChurnSimulation(
+            small_sim_config(),
+            PROTOCOLS["min-depth"],
+            topology=topo,
+            oracle=oracle,
+            graceful_departure_fraction=1.5,
+        )

@@ -1,0 +1,102 @@
+"""ChurnMetrics window accounting and derived metrics."""
+
+import math
+
+import pytest
+
+from repro.metrics.collectors import ChurnMetrics, TimeSeries
+
+
+def make_metrics(start=100.0, end=200.0, mean_lifetime=50.0):
+    return ChurnMetrics(start, end, mean_lifetime_s=mean_lifetime)
+
+
+class TestWindowing:
+    def test_events_outside_window_ignored(self):
+        m = make_metrics()
+        m.record_disruptions(50.0, 10)  # before warm-up
+        m.record_disruptions(150.0, 3)
+        m.record_disruptions(250.0, 7)  # after the window
+        assert m.disruption_events == 3
+
+    def test_departures_counted_in_window_only(self):
+        m = make_metrics()
+        m.record_departure(150.0, disruptions=2, optimization_reconnections=1)
+        m.record_departure(50.0, disruptions=9, optimization_reconnections=9)
+        assert m.departures_in_window == 1
+        assert m.disruptions_per_departed == [2]
+
+    def test_partial_observations_excluded_from_distribution(self):
+        m = make_metrics()
+        m.record_departure(150.0, 5, 0, full_observation=False)
+        assert m.departures_in_window == 1
+        assert m.disruptions_per_departed == []
+
+
+class TestPopulationIntegral:
+    def test_constant_population(self):
+        m = make_metrics()
+        m.record_population(100.0, 10)
+        m.record_population(200.0, 10)
+        assert m.node_seconds == pytest.approx(1000.0)
+        assert m.mean_population == pytest.approx(10.0)
+
+    def test_step_change(self):
+        m = make_metrics()
+        m.record_population(100.0, 10)
+        m.record_population(150.0, 20)
+        m.record_population(200.0, 20)
+        assert m.node_seconds == pytest.approx(10 * 50 + 20 * 50)
+
+    def test_clamps_outside_window(self):
+        m = make_metrics()
+        m.record_population(0.0, 10)  # before the window: sets level only
+        m.record_population(300.0, 10)
+        assert m.node_seconds == pytest.approx(1000.0)
+
+
+class TestDerivedMetrics:
+    def test_rate_based_per_lifetime_disruptions(self):
+        m = make_metrics(mean_lifetime=50.0)
+        m.record_population(100.0, 10)
+        m.record_population(200.0, 10)
+        m.record_disruptions(150.0, 20)
+        # 20 events over 1000 node-seconds = 0.02/s; per 50 s lifetime = 1.0
+        assert m.avg_disruptions_per_node == pytest.approx(1.0)
+
+    def test_rate_based_overhead(self):
+        m = make_metrics(mean_lifetime=50.0)
+        m.record_population(100.0, 10)
+        m.record_population(200.0, 10)
+        m.record_optimization_reconnections(150.0, 10)
+        assert m.avg_optimization_reconnections_per_node == pytest.approx(0.5)
+
+    def test_nan_without_node_seconds(self):
+        m = make_metrics()
+        assert math.isnan(m.disruption_rate_per_node_second())
+
+    def test_tree_samples(self):
+        m = make_metrics()
+        m.record_tree_sample(100.0, 2.0)
+        m.record_tree_sample(200.0, 4.0)
+        assert m.avg_service_delay_ms == pytest.approx(150.0)
+        assert m.avg_stretch == pytest.approx(3.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnMetrics(10.0, 10.0)
+
+
+class TestTimeSeries:
+    def test_append_and_pairs(self):
+        ts = TimeSeries()
+        ts.append(1.0, 10.0)
+        ts.append(2.0, 20.0)
+        assert len(ts) == 2
+        assert ts.as_pairs() == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_time_must_not_go_backwards(self):
+        ts = TimeSeries()
+        ts.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.append(4.0, 2.0)

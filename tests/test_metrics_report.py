@@ -1,0 +1,46 @@
+"""Text table rendering."""
+
+import pytest
+
+from repro.metrics.report import format_value, render_series_table, render_table
+
+
+def test_format_value_variants():
+    assert format_value(None) == "-"
+    assert format_value(float("nan")) == "nan"
+    assert format_value(1.23456) == "1.235"
+    assert format_value(0.000012) == "1.2e-05"
+    assert format_value(1234567.0) == "1.23e+06"
+    assert format_value("abc") == "abc"
+    assert format_value(42) == "42"
+
+
+def test_render_table_alignment():
+    out = render_table(
+        "My Figure",
+        ["algo", "x"],
+        [["rost", 1.5], ["min-depth", 20.25]],
+    )
+    lines = out.splitlines()
+    assert lines[0] == "My Figure"
+    assert set(lines[1]) == {"="}
+    assert "rost" in out and "min-depth" in out
+    # columns aligned: all data lines same width
+    widths = {len(line) for line in lines[2:]}
+    assert len(widths) == 1
+
+
+def test_render_series_table():
+    out = render_series_table(
+        "Fig 4",
+        "size",
+        [2000, 8000],
+        [("rost", [0.5, 0.8]), ("min-depth", [2.5, 4.5])],
+    )
+    assert "2000" in out and "8000" in out
+    assert "rost" in out
+
+
+def test_series_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        render_series_table("t", "x", [1, 2], [("a", [1.0])])

@@ -1,0 +1,82 @@
+"""Statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import (
+    cdf_at,
+    cdf_points,
+    confidence_interval_95,
+    describe,
+    mean_and_ci,
+    t_critical_95,
+)
+
+
+def test_t_table_values():
+    assert t_critical_95(1) == pytest.approx(12.706)
+    assert t_critical_95(10) == pytest.approx(2.228)
+    assert t_critical_95(100) == pytest.approx(1.96)
+    with pytest.raises(ValueError):
+        t_critical_95(0)
+
+
+def test_ci_zero_for_tiny_samples():
+    assert confidence_interval_95([]) == 0.0
+    assert confidence_interval_95([5.0]) == 0.0
+
+
+def test_ci_matches_formula():
+    data = [1.0, 2.0, 3.0, 4.0, 5.0]
+    sem = np.std(data, ddof=1) / math.sqrt(5)
+    assert confidence_interval_95(data) == pytest.approx(2.776 * sem)
+
+
+def test_ci_covers_true_mean_mostly():
+    rng = np.random.default_rng(0)
+    hits = 0
+    for _ in range(200):
+        sample = rng.normal(10.0, 2.0, size=20)
+        mean, ci = mean_and_ci(sample)
+        if abs(mean - 10.0) <= ci:
+            hits += 1
+    assert hits >= 180  # ~95% nominal coverage
+
+
+def test_mean_and_ci_empty():
+    mean, ci = mean_and_ci([])
+    assert math.isnan(mean) and ci == 0.0
+
+
+def test_cdf_points():
+    xs, fs = cdf_points([3.0, 1.0, 2.0])
+    assert list(xs) == [1.0, 2.0, 3.0]
+    assert list(fs) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+
+def test_cdf_at_thresholds():
+    values = [1, 1, 2, 4, 8]
+    fractions = cdf_at(values, [0, 1, 3, 8, 100])
+    assert fractions == pytest.approx([0.0, 0.4, 0.6, 1.0, 1.0])
+
+
+def test_cdf_at_empty_is_nan():
+    assert all(math.isnan(v) for v in cdf_at([], [1.0]))
+
+
+def test_describe():
+    summary = describe(range(1, 101))
+    assert summary.count == 100
+    assert summary.mean == pytest.approx(50.5)
+    assert summary.minimum == 1 and summary.maximum == 100
+    assert summary.p50 == pytest.approx(50.5)
+    assert summary.p99 > summary.p90 > summary.p50
+
+
+def test_describe_empty_and_singleton():
+    empty = describe([])
+    assert empty.count == 0 and math.isnan(empty.mean)
+    one = describe([7.0])
+    assert one.count == 1 and one.std == 0.0

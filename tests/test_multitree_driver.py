@@ -1,0 +1,99 @@
+"""K-tree delivery: interior-disjointness and stripe-quality metrics."""
+
+import pytest
+
+from repro.multitree.driver import MultiTreeSimulation
+from repro.protocols import PROTOCOLS
+from tests.conftest import small_sim_config
+
+
+@pytest.fixture(scope="module")
+def two_tree_run():
+    sim = MultiTreeSimulation(
+        small_sim_config(population=80, seed=9),
+        PROTOCOLS["min-depth"],
+        num_trees=2,
+    )
+    return sim, sim.run()
+
+
+def test_runs_and_reports(two_tree_run):
+    sim, result = two_tree_run
+    assert result.num_trees == 2
+    assert len(result.per_tree) == 2
+    assert result.members_measured > 0
+    assert 0.0 <= result.mean_delivered_quality <= 1.0
+    assert result.effective_delay_ms > 0
+
+
+def test_interior_disjointness(two_tree_run):
+    """A member can have children in its home tree only."""
+    sim, _ = two_tree_run
+    for tree_index, churn in enumerate(sim._sims):
+        for node in churn.tree.attached_nodes():
+            if node.is_root:
+                continue
+            if node.member_id % 2 != tree_index:
+                assert node.out_degree_cap == 0
+                assert node.children == []
+
+
+def test_trees_share_workload_and_underlay(two_tree_run):
+    sim, _ = two_tree_run
+    assert sim._sims[0].workload is sim._sims[1].workload
+    assert sim._sims[0].topology is sim._sims[1].topology
+
+
+def test_home_capacity_measured_against_stripe_rate(two_tree_run):
+    """A bw-2 member can serve 4 children of a half-rate stripe."""
+    sim, _ = two_tree_run
+    stripe_rate = sim.stripe_config.workload.stream_rate
+    assert stripe_rate == pytest.approx(0.5)
+    for churn in sim._sims:
+        for node in churn.tree.members.values():
+            if not node.is_root and node.out_degree_cap > 0:
+                assert node.out_degree_cap == int(node.bandwidth / stripe_rate)
+
+
+def test_blackouts_rarer_than_stripe_outages(two_tree_run):
+    _, result = two_tree_run
+    assert result.blackouts_per_node <= result.stripe_disruptions_per_node
+
+
+def test_more_trees_reduce_blackouts():
+    """The headline of multi-tree delivery: independent stripes make total
+    blackouts rare even though stripe-level interruptions continue."""
+    single = MultiTreeSimulation(
+        small_sim_config(population=80, seed=9),
+        PROTOCOLS["min-depth"],
+        num_trees=1,
+    ).run()
+    double = MultiTreeSimulation(
+        small_sim_config(population=80, seed=9),
+        PROTOCOLS["min-depth"],
+        num_trees=2,
+    ).run()
+    # with one tree, every disruption is a blackout
+    assert single.blackouts_per_node == pytest.approx(
+        single.stripe_disruptions_per_node
+    )
+    assert double.blackouts_per_node <= single.blackouts_per_node
+
+
+def test_invalid_tree_count():
+    with pytest.raises(ValueError):
+        MultiTreeSimulation(
+            small_sim_config(), PROTOCOLS["min-depth"], num_trees=0
+        )
+
+
+def test_rost_multitree_runs():
+    sim = MultiTreeSimulation(
+        small_sim_config(population=60, seed=4, measure_lifetimes=0.5),
+        PROTOCOLS["rost"],
+        num_trees=3,
+    )
+    result = sim.run()
+    assert result.num_trees == 3
+    for churn_result in result.per_tree:
+        assert churn_result.metrics.mean_population > 0

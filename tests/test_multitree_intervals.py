@@ -1,0 +1,95 @@
+"""Interval algebra."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.multitree.intervals import (
+    clip_intervals,
+    intersect_many,
+    intersect_two,
+    merge_intervals,
+    total_length,
+)
+
+
+class TestMerge:
+    def test_disjoint_kept(self):
+        assert merge_intervals([(3, 4), (1, 2)]) == [(1, 2), (3, 4)]
+
+    def test_overlapping_coalesced(self):
+        assert merge_intervals([(1, 3), (2, 5)]) == [(1, 5)]
+
+    def test_touching_coalesced(self):
+        assert merge_intervals([(1, 2), (2, 3)]) == [(1, 3)]
+
+    def test_contained_absorbed(self):
+        assert merge_intervals([(1, 10), (3, 4)]) == [(1, 10)]
+
+    def test_empty_and_degenerate(self):
+        assert merge_intervals([]) == []
+        assert merge_intervals([(5, 5), (7, 6)]) == []
+
+
+class TestClip:
+    def test_clip_inside(self):
+        assert clip_intervals([(0, 10)], 2, 5) == [(2, 5)]
+
+    def test_clip_outside_dropped(self):
+        assert clip_intervals([(0, 1), (9, 12)], 2, 5) == []
+
+    def test_clip_partial(self):
+        assert clip_intervals([(1, 3), (4, 8)], 2, 5) == [(2, 3), (4, 5)]
+
+    def test_empty_window(self):
+        assert clip_intervals([(0, 10)], 5, 5) == []
+
+
+class TestIntersect:
+    def test_two(self):
+        a = [(0, 5), (10, 15)]
+        b = [(3, 12)]
+        assert intersect_two(a, b) == [(3, 5), (10, 12)]
+
+    def test_many(self):
+        sets = [[(0, 10)], [(2, 8)], [(4, 12)]]
+        assert intersect_many(sets) == [(4, 8)]
+
+    def test_disjoint_yields_nothing(self):
+        assert intersect_many([[(0, 1)], [(2, 3)]]) == []
+
+    def test_empty_family(self):
+        assert intersect_many([]) == []
+
+    def test_empty_member(self):
+        assert intersect_many([[(0, 1)], []]) == []
+
+
+def test_total_length_counts_overlap_once():
+    assert total_length([(0, 2), (1, 3)]) == pytest.approx(3.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)).map(
+            lambda p: (min(p), max(p))
+        ),
+        max_size=12,
+    ),
+    st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)).map(
+            lambda p: (min(p), max(p))
+        ),
+        max_size=12,
+    ),
+)
+def test_intersection_properties(a, b):
+    inter = intersect_two(a, b)
+    # intersection is contained in both and never longer than either
+    assert total_length(inter) <= total_length(a) + 1e-9
+    assert total_length(inter) <= total_length(b) + 1e-9
+    # commutative
+    assert inter == intersect_two(b, a)
+    # merged output is sorted and disjoint
+    for (s1, e1), (s2, e2) in zip(inter, inter[1:]):
+        assert e1 < s2

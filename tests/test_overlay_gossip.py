@@ -1,0 +1,142 @@
+"""The Cyclon-style gossip peer-sampling service."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.overlay.gossip import GossipMembership
+from repro.protocols import PROTOCOLS
+from repro.sim.engine import Simulator
+from repro.simulation.churn import ChurnSimulation
+from tests.conftest import make_node, small_sim_config
+
+
+@pytest.fixture()
+def service():
+    sim = Simulator()
+    return (
+        GossipMembership(
+            np.random.default_rng(4),
+            sim,
+            view_size=8,
+            shuffle_length=4,
+            shuffle_interval_s=10.0,
+        ),
+        sim,
+    )
+
+
+def register_members(service, sim, count, attached=True):
+    nodes = []
+    for i in range(count):
+        node = make_node(i + 1)
+        node.attached = attached
+        service.register(node)
+        nodes.append(node)
+    return nodes
+
+
+def test_validation():
+    sim = Simulator()
+    rng = np.random.default_rng(0)
+    with pytest.raises(ProtocolError):
+        GossipMembership(rng, sim, view_size=1)
+    with pytest.raises(ProtocolError):
+        GossipMembership(rng, sim, view_size=8, shuffle_length=9)
+
+
+def test_bootstrap_gives_new_member_a_view(service):
+    gossip, sim = service
+    nodes = register_members(gossip, sim, 10)
+    late = make_node(99)
+    late.attached = True
+    gossip.register(late)
+    assert len(gossip.view_of(late)) >= 1
+
+
+def test_views_stay_bounded(service):
+    gossip, sim = service
+    nodes = register_members(gossip, sim, 30)
+    sim.run_until(200.0)
+    for node in nodes:
+        view = gossip.view_of(node)
+        assert len(view) <= gossip.view_size
+        assert node.member_id not in view
+        assert len(set(view)) == len(view)
+
+
+def test_shuffling_spreads_knowledge(service):
+    """After enough rounds, members know far more peers than their
+    bootstrap contact chain provided."""
+    gossip, sim = service
+    nodes = register_members(gossip, sim, 30)
+    sim.run_until(500.0)
+    assert gossip.shuffles > 0
+    sizes = [len(gossip.view_of(n)) for n in nodes]
+    assert np.mean(sizes) >= gossip.view_size * 0.75
+
+
+def test_departed_members_age_out(service):
+    gossip, sim = service
+    nodes = register_members(gossip, sim, 20)
+    sim.run_until(100.0)
+    victim = nodes[0]
+    gossip.unregister(victim)
+    sim.run_until(600.0)
+    holders = sum(
+        1 for n in nodes[1:] if victim.member_id in gossip.view_of(n)
+    )
+    # dead descriptors get discarded as they cycle through shuffles
+    assert holders <= len(nodes) // 3
+
+
+def test_sample_for_draws_from_own_view(service):
+    gossip, sim = service
+    nodes = register_members(gossip, sim, 25)
+    sim.run_until(300.0)
+    node = nodes[5]
+    view_ids = set(gossip.view_of(node))
+    picked = gossip.sample_for(node, 5)
+    assert all(p.member_id in view_ids for p in picked)
+    assert all(p.member_id != node.member_id for p in picked)
+
+
+def test_sample_for_respects_attached_filter(service):
+    gossip, sim = service
+    nodes = register_members(gossip, sim, 10)
+    sim.run_until(200.0)
+    for other in nodes[1:]:
+        other.attached = False
+    assert gossip.sample_for(nodes[0], 5, attached_only=True) == []
+
+
+def test_unregister_stops_shuffling(service):
+    gossip, sim = service
+    nodes = register_members(gossip, sim, 5)
+    for node in nodes:
+        gossip.unregister(node)
+    before = gossip.shuffles
+    sim.run_until(500.0)
+    assert gossip.shuffles == before
+
+
+def test_churn_simulation_runs_on_gossip_membership():
+    cfg = small_sim_config(population=40, seed=6, measure_lifetimes=0.5)
+    sim = ChurnSimulation(
+        cfg,
+        PROTOCOLS["min-depth"],
+        membership_mode="gossip",
+        check_invariants=True,
+    )
+    result = sim.run()
+    assert result.metrics.mean_population > 0
+    assert sim.membership.shuffles > 0
+
+
+def test_unknown_membership_mode_rejected():
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        ChurnSimulation(
+            small_sim_config(), PROTOCOLS["min-depth"], membership_mode="bogus"
+        )

@@ -1,0 +1,106 @@
+"""Membership service sampling properties."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.overlay.membership import MembershipService
+from tests.conftest import make_node
+
+
+@pytest.fixture()
+def service(rng):
+    return MembershipService(rng)
+
+
+def register_many(service, count, attached=True):
+    nodes = []
+    for i in range(count):
+        node = make_node(i + 1)
+        node.attached = attached
+        service.register(node)
+        nodes.append(node)
+    return nodes
+
+
+def test_register_unregister_roundtrip(service):
+    node = make_node(1)
+    service.register(node)
+    assert node in service and len(service) == 1
+    service.unregister(node)
+    assert node not in service and len(service) == 0
+
+
+def test_duplicate_registration_rejected(service):
+    node = make_node(1)
+    service.register(node)
+    with pytest.raises(ProtocolError):
+        service.register(node)
+
+
+def test_unknown_unregister_rejected(service):
+    with pytest.raises(ProtocolError):
+        service.unregister(make_node(1))
+
+
+def test_sample_distinct_members(service):
+    register_many(service, 50)
+    picked = service.sample(20)
+    assert len(picked) == 20
+    assert len({n.member_id for n in picked}) == 20
+
+
+def test_sample_whole_population_when_small(service):
+    nodes = register_many(service, 5)
+    assert set(service.sample(50)) == set(nodes)
+
+
+def test_sample_excludes(service):
+    nodes = register_many(service, 10)
+    picked = service.sample(10, exclude=[nodes[0], nodes[1]])
+    ids = {n.member_id for n in picked}
+    assert nodes[0].member_id not in ids
+    assert nodes[1].member_id not in ids
+
+
+def test_attached_only_filter(service):
+    attached = register_many(service, 10, attached=True)
+    detached = make_node(99)
+    detached.attached = False
+    service.register(detached)
+    picked = service.sample(11)
+    assert detached not in picked
+    picked_all = service.sample(11, attached_only=False)
+    assert len(picked_all) == 11
+
+
+def test_sample_zero_and_empty(service):
+    assert service.sample(0) == []
+    assert service.sample(5) == []  # empty population
+    assert service.random_member() is None
+
+
+def test_negative_sample_rejected(service):
+    with pytest.raises(ProtocolError):
+        service.sample(-1)
+
+
+def test_sampling_is_roughly_uniform(rng):
+    service = MembershipService(rng)
+    nodes = register_many(service, 100)
+    counts = {n.member_id: 0 for n in nodes}
+    for _ in range(2000):
+        for node in service.sample(5):
+            counts[node.member_id] += 1
+    values = np.array(list(counts.values()))
+    # each member expects 100 hits; a uniform sampler stays well within 3x
+    assert values.min() > 30
+    assert values.max() < 300
+
+
+def test_unregister_swap_pop_keeps_index_consistent(service):
+    nodes = register_many(service, 10)
+    service.unregister(nodes[0])  # forces swap with the last element
+    remaining = service.sample(9)
+    assert nodes[0] not in remaining
+    assert len(remaining) == 9

@@ -1,0 +1,34 @@
+"""Message accounting."""
+
+import pytest
+
+from repro.overlay.messages import MessageStats, MessageType
+
+
+def test_record_and_total():
+    stats = MessageStats()
+    stats.record(MessageType.JOIN, 3)
+    stats.record(MessageType.ACCEPT)
+    assert stats.total == 4
+    assert stats.counts[MessageType.JOIN] == 3
+
+
+def test_as_dict_omits_zero_entries():
+    stats = MessageStats()
+    stats.record(MessageType.NACK, 2)
+    assert stats.as_dict() == {"nack": 2}
+
+
+def test_merge():
+    a, b = MessageStats(), MessageStats()
+    a.record(MessageType.ELN, 1)
+    b.record(MessageType.ELN, 2)
+    b.record(MessageType.REPAIR_DATA, 5)
+    a.merge(b)
+    assert a.counts[MessageType.ELN] == 3
+    assert a.counts[MessageType.REPAIR_DATA] == 5
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        MessageStats().record(MessageType.JOIN, -1)

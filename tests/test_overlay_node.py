@@ -1,0 +1,91 @@
+"""OverlayNode state and derived quantities."""
+
+import math
+
+import pytest
+
+from repro.errors import TreeError
+from repro.overlay.node import OverlayNode
+from tests.conftest import make_node
+
+
+def test_basic_properties():
+    node = make_node(1, bandwidth=3.5, cap=3, join_time=10.0)
+    assert node.spare_degree == 3
+    assert not node.is_free_rider
+    assert node.age(25.0) == 15.0
+    assert node.btp(20.0) == pytest.approx(3.5 * 10.0)
+
+
+def test_free_rider():
+    node = make_node(1, bandwidth=0.7, cap=0)
+    assert node.is_free_rider
+    assert node.spare_degree == 0
+
+
+def test_root_has_infinite_btp():
+    root = make_node(0, bandwidth=100.0, cap=100, is_root=True)
+    assert math.isinf(root.btp(1000.0))
+    assert math.isinf(root.claimed_btp(1000.0))
+
+
+def test_claims_default_to_truth():
+    node = make_node(1, bandwidth=2.0, join_time=5.0)
+    assert node.claimed_bandwidth == 2.0
+    assert node.claimed_join_time == 5.0
+    assert node.claimed_btp(10.0) == node.btp(10.0)
+
+
+def test_cheater_claims_diverge():
+    node = make_node(1, bandwidth=1.0, join_time=100.0)
+    node.claimed_bandwidth = 50.0
+    node.claimed_join_time = 0.0
+    assert node.claimed_btp(200.0) == pytest.approx(50.0 * 200.0)
+    assert node.btp(200.0) == pytest.approx(1.0 * 100.0)
+
+
+def test_locking():
+    node = make_node(1)
+    assert not node.is_locked(0.0)
+    node.lock(10.0)
+    assert node.is_locked(5.0)
+    assert not node.is_locked(10.0)
+    node.lock(8.0)  # never shortens
+    assert node.is_locked(9.0)
+
+
+def test_negative_cap_rejected():
+    with pytest.raises(TreeError):
+        OverlayNode(1, 0, 1.0, -1, 0.0)
+
+
+def test_ancestors_and_descendants():
+    a = make_node(1, cap=3)
+    b = make_node(2, cap=3)
+    c = make_node(3, cap=3)
+    d = make_node(4, cap=3)
+    b.parent = a
+    a.children = [b]
+    c.parent = b
+    d.parent = b
+    b.children = [c, d]
+    assert a.ancestors() == []
+    assert c.ancestors() == [b, a]
+    assert {n.member_id for n in a.descendants()} == {2, 3, 4}
+    assert a.subtree_size() == 4
+    assert d.subtree_size() == 1
+
+
+def test_depth_below():
+    a, b, c = make_node(1, cap=2), make_node(2, cap=2), make_node(3, cap=2)
+    b.parent = a
+    c.parent = b
+    assert c.depth_below(a) == 2
+    assert c.depth_below(c) == 0
+    other = make_node(9)
+    with pytest.raises(TreeError):
+        c.depth_below(other)
+
+
+def test_repr_mentions_id():
+    assert "id=7" in repr(make_node(7))

@@ -1,0 +1,58 @@
+"""ASCII tree rendering."""
+
+from repro.overlay.render import render_tree
+from repro.overlay.tree import MulticastTree
+from tests.conftest import make_node
+
+
+def build_tree(width=3, grandchildren=2):
+    root = make_node(0, bandwidth=10.0, cap=10, is_root=True)
+    tree = MulticastTree(root)
+    next_id = 1
+    for _ in range(width):
+        mid = make_node(next_id, bandwidth=4.0, cap=4)
+        next_id += 1
+        tree.add_member(mid)
+        tree.attach(mid, root)
+        for _ in range(grandchildren):
+            leaf = make_node(next_id, bandwidth=0.5, cap=0)
+            next_id += 1
+            tree.add_member(leaf)
+            tree.attach(leaf, mid)
+    return tree
+
+
+def test_renders_every_member():
+    tree = build_tree()
+    art = render_tree(tree, now=60.0)
+    assert "root" in art
+    for member_id in range(1, 10):
+        assert f"#{member_id} " in art
+
+
+def test_depth_truncation_summarises():
+    tree = build_tree()
+    art = render_tree(tree, now=0.0, max_depth=1)
+    assert "member(s) below" in art
+    assert "#2 " not in art  # grandchildren hidden
+
+
+def test_width_truncation_summarises():
+    tree = build_tree(width=3)
+    art = render_tree(tree, now=0.0, max_children=2)
+    assert "more member(s)" in art
+
+
+def test_custom_label():
+    tree = build_tree(width=1, grandchildren=0)
+    art = render_tree(tree, label=lambda n, now: f"<{n.member_id}>")
+    assert "<0>" in art and "<1>" in art
+
+
+def test_connectors_are_well_formed():
+    tree = build_tree()
+    art = render_tree(tree, now=0.0)
+    lines = art.splitlines()
+    assert lines[0].startswith("root")
+    assert any(line.lstrip().startswith("|--") for line in lines)
+    assert any(line.lstrip().startswith("`--") for line in lines)

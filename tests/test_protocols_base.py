@@ -1,0 +1,124 @@
+"""Shared protocol machinery: candidate sampling, min-depth selection,
+service delay and stretch."""
+
+import math
+
+import pytest
+
+from repro.config import ProtocolConfig
+from tests.protocol_harness import Harness
+
+
+@pytest.fixture()
+def harness(tiny_topology, tiny_oracle):
+    return Harness(tiny_topology, tiny_oracle)
+
+
+class _Concrete:
+    """Minimal TreeProtocol subclass for exercising base helpers."""
+
+    def __new__(cls, ctx):
+        from repro.protocols.base import TreeProtocol
+
+        class P(TreeProtocol):
+            name = "test"
+
+            def place(self, node, rejoin):
+                return False
+
+        return P(ctx)
+
+
+def test_select_min_depth_prefers_smaller_layer(harness):
+    proto = _Concrete(harness.ctx)
+    a = harness.new_member(bandwidth=3.0)
+    b = harness.new_member(bandwidth=3.0)
+    joiner = harness.new_member()
+    harness.tree.attach(a, harness.tree.root)
+    harness.tree.attach(b, a)
+    assert proto.select_min_depth(joiner, [a, b]) is a
+
+
+def test_select_min_depth_skips_full_parents(harness):
+    proto = _Concrete(harness.ctx)
+    full = harness.new_member(bandwidth=1.0, cap=1)
+    leafy = harness.new_member(bandwidth=2.0)
+    child = harness.new_member(bandwidth=0.5, cap=0)
+    joiner = harness.new_member()
+    harness.tree.attach(full, harness.tree.root)
+    harness.tree.attach(leafy, full)  # full is now at capacity
+    assert proto.select_min_depth(joiner, [full, leafy]) is leafy
+
+
+def test_select_min_depth_tie_breaks_by_delay(harness):
+    proto = _Concrete(harness.ctx)
+    near = harness.new_member(bandwidth=2.0, underlay_index=5)
+    far = harness.new_member(bandwidth=2.0, underlay_index=40)
+    harness.tree.attach(near, harness.tree.root)
+    harness.tree.attach(far, harness.tree.root)
+    joiner = harness.new_member(underlay_index=5)  # same stub pool as `near`
+    choice = proto.select_min_depth(joiner, [far, near])
+    d_near = harness.ctx.delay_ms(joiner, near)
+    d_far = harness.ctx.delay_ms(joiner, far)
+    assert choice is (near if d_near <= d_far else far)
+
+
+def test_select_min_depth_none_when_no_capacity(harness):
+    proto = _Concrete(harness.ctx)
+    joiner = harness.new_member()
+    assert proto.select_min_depth(joiner, []) is None
+
+
+def test_sample_candidates_excludes_self(tiny_topology, tiny_oracle):
+    harness = Harness(tiny_topology, tiny_oracle, root_cap=10)
+    proto = _Concrete(harness.ctx)
+    member = harness.new_member()
+    others = [harness.new_member() for _ in range(5)]
+    for other in others:
+        harness.tree.attach(other, harness.tree.root)
+    candidates = proto.sample_candidates(member)
+    assert member not in candidates
+
+
+def test_sample_candidates_mature_view_includes_top(tiny_topology, tiny_oracle):
+    harness = Harness(
+        tiny_topology,
+        tiny_oracle,
+        protocol_config=ProtocolConfig(join_candidates=2, well_known_top=3),
+        root_cap=10,
+    )
+    proto = _Concrete(harness.ctx)
+    members = [harness.new_member(bandwidth=3.0) for _ in range(8)]
+    for m in members:
+        harness.tree.attach(m, harness.tree.root)
+    joiner = harness.new_member()
+    mature = proto.sample_candidates(joiner, mature_view=True)
+    fresh = proto.sample_candidates(joiner, mature_view=False)
+    assert harness.tree.root in mature  # the top is always known
+    assert len(fresh) <= 2
+
+
+def test_service_delay_sums_hops(harness):
+    a = harness.new_member(bandwidth=3.0, underlay_index=3)
+    b = harness.new_member(bandwidth=3.0, underlay_index=9)
+    harness.tree.attach(a, harness.tree.root)
+    harness.tree.attach(b, a)
+    expected = harness.ctx.delay_ms(b, a) + harness.ctx.delay_ms(
+        a, harness.tree.root
+    )
+    assert harness.ctx.service_delay_ms(b) == pytest.approx(expected)
+    assert harness.ctx.service_delay_ms(harness.tree.root) == 0.0
+
+
+def test_service_delay_infinite_when_detached(harness):
+    lone = harness.new_member()
+    assert math.isinf(harness.ctx.service_delay_ms(lone))
+
+
+def test_stretch_at_least_one_on_tree_paths(harness):
+    a = harness.new_member(bandwidth=3.0, underlay_index=3)
+    b = harness.new_member(bandwidth=3.0, underlay_index=20)
+    harness.tree.attach(a, harness.tree.root)
+    harness.tree.attach(b, a)
+    assert harness.ctx.stretch(a) == pytest.approx(1.0)  # direct child
+    assert harness.ctx.stretch(b) >= 1.0 - 1e-9

@@ -1,0 +1,83 @@
+"""Minimum-depth and longest-first placement policies."""
+
+import pytest
+
+from repro.protocols.longest_first import LongestFirstProtocol
+from repro.protocols.minimum_depth import MinimumDepthProtocol
+from tests.protocol_harness import Harness
+
+
+@pytest.fixture()
+def harness(tiny_topology, tiny_oracle):
+    return Harness(tiny_topology, tiny_oracle, root_cap=2)
+
+
+class TestMinimumDepth:
+    def test_first_member_attaches_to_root(self, harness):
+        proto = MinimumDepthProtocol(harness.ctx)
+        node = harness.new_member()
+        assert proto.place(node, rejoin=False)
+        assert node.parent is harness.tree.root
+
+    def test_prefers_highest_spare_parent(self, harness):
+        proto = MinimumDepthProtocol(harness.ctx)
+        high = harness.new_member(bandwidth=5.0)
+        assert proto.place(high, rejoin=False)
+        deep = harness.new_member(bandwidth=5.0)
+        assert proto.place(deep, rejoin=False)
+        # root now full (cap 2); the next member must land at layer 2
+        joiner = harness.new_member(bandwidth=0.5, cap=0)
+        assert proto.place(joiner, rejoin=False)
+        assert joiner.layer == 2
+
+    def test_fails_without_capacity(self, tiny_topology, tiny_oracle):
+        harness = Harness(tiny_topology, tiny_oracle, root_cap=1)
+        proto = MinimumDepthProtocol(harness.ctx)
+        a = harness.new_member(bandwidth=0.5, cap=0)
+        b = harness.new_member(bandwidth=0.5, cap=0)
+        assert proto.place(a, rejoin=False)
+        assert not proto.place(b, rejoin=False)
+        assert not b.attached
+
+    def test_no_optimization_overhead(self, harness):
+        proto = MinimumDepthProtocol(harness.ctx)
+        nodes = [harness.new_member() for _ in range(6)]
+        for node in nodes:
+            proto.place(node, rejoin=False)
+        assert sum(n.optimization_reconnections for n in nodes) == 0
+
+
+class TestLongestFirst:
+    def test_prefers_oldest_parent(self, harness):
+        proto = LongestFirstProtocol(harness.ctx)
+        harness.sim.run_until(100.0)
+        old = harness.new_member(bandwidth=3.0, join_time=0.0)
+        young = harness.new_member(bandwidth=3.0, join_time=90.0)
+        harness.tree.attach(old, harness.tree.root)
+        harness.tree.attach(young, harness.tree.root)
+        joiner = harness.new_member(join_time=100.0)
+        assert proto.place(joiner, rejoin=False)
+        # the root (join time 0) ties with `old`; both are acceptable
+        assert joiner.parent in (old, harness.tree.root)
+        assert joiner.parent is not young
+
+    def test_skips_full_old_members(self, harness):
+        proto = LongestFirstProtocol(harness.ctx)
+        old_full = harness.new_member(bandwidth=1.0, cap=1, join_time=0.0)
+        young = harness.new_member(bandwidth=3.0, join_time=50.0)
+        harness.tree.attach(old_full, harness.tree.root)
+        harness.tree.attach(young, harness.tree.root)
+        harness.sim.run_until(60.0)
+        filler = harness.new_member(bandwidth=0.5, cap=0)
+        harness.tree.attach(filler, old_full)  # old_full now at capacity
+        joiner = harness.new_member()
+        assert proto.place(joiner, rejoin=False)
+        assert joiner.parent is young
+
+    def test_fails_without_capacity(self, tiny_topology, tiny_oracle):
+        harness = Harness(tiny_topology, tiny_oracle, root_cap=1)
+        proto = LongestFirstProtocol(harness.ctx)
+        a = harness.new_member(bandwidth=0.5, cap=0)
+        assert proto.place(a, rejoin=False)
+        b = harness.new_member(bandwidth=0.5, cap=0)
+        assert not proto.place(b, rejoin=False)

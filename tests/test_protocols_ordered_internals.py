@@ -1,0 +1,99 @@
+"""Internals of the centralized ordered protocols: lazy indices,
+first-found probing, improvement checks."""
+
+import pytest
+
+from repro.protocols.relaxed_bo import RelaxedBandwidthOrderedProtocol
+from repro.protocols.relaxed_to import RelaxedTimeOrderedProtocol
+from tests.protocol_harness import Harness
+
+
+@pytest.fixture()
+def harness(tiny_topology, tiny_oracle):
+    return Harness(tiny_topology, tiny_oracle, root_cap=3)
+
+
+def place_members(harness, proto, bandwidths, join_time=0.0):
+    nodes = []
+    for bw in bandwidths:
+        node = harness.new_member(bandwidth=bw, join_time=join_time)
+        assert proto.place(node, rejoin=False)
+        nodes.append(node)
+    return nodes
+
+
+class TestLazyIndices:
+    def test_stale_entries_skipped_after_departure(self, harness):
+        proto = RelaxedBandwidthOrderedProtocol(harness.ctx)
+        nodes = place_members(harness, proto, [1.0, 1.5, 2.0])
+        victim = nodes[0]
+        harness.depart(victim)
+        # the heap still holds the departed member's entry; the scan must
+        # skip it rather than evicting a ghost
+        target = proto._find_eviction_target(
+            harness.new_member(bandwidth=9.0)
+        )
+        assert target is not victim
+
+    def test_layer_change_invalidates_entries(self, harness):
+        proto = RelaxedBandwidthOrderedProtocol(harness.ctx)
+        nodes = place_members(harness, proto, [1.0, 1.2, 1.4])
+        moved = nodes[0]
+        harness.tree.detach(moved)
+        harness.tree.attach(moved, nodes[1])  # now at layer 2
+        worst = proto._peek_worst_in_layer(1)
+        assert worst is not moved
+
+    def test_max_layer_tracks_growth(self, harness):
+        proto = RelaxedBandwidthOrderedProtocol(harness.ctx)
+        place_members(harness, proto, [2.0, 0.9, 0.8])  # root (cap 3) full
+        deep = harness.new_member(bandwidth=0.7, cap=0)
+        assert proto.place(deep, rejoin=False)
+        assert deep.layer == 2
+        assert proto._max_layer >= 2
+
+
+class TestFirstFound:
+    def test_first_found_respects_threshold(self, harness):
+        proto = RelaxedBandwidthOrderedProtocol(harness.ctx)
+        place_members(harness, proto, [1.0, 2.0, 3.0])
+        # nobody at layer 1 is worse than bandwidth 0.5
+        found = proto._first_found_in_layer(1, my_priority=-0.5)
+        assert found is None
+
+    def test_first_found_returns_qualifying_member(self, harness):
+        proto = RelaxedBandwidthOrderedProtocol(harness.ctx)
+        nodes = place_members(harness, proto, [1.0, 2.0, 3.0])
+        found = proto._first_found_in_layer(1, my_priority=-9.0)
+        assert found in nodes
+        assert found.bandwidth < 9.0
+
+
+class TestImprovementCheck:
+    def test_no_eviction_when_equal_free_slot(self, harness):
+        proto = RelaxedBandwidthOrderedProtocol(harness.ctx)
+        weak = harness.new_member(bandwidth=1.0)
+        assert proto.place(weak, rejoin=False)
+        strong = harness.new_member(bandwidth=9.0)
+        assert proto.place(strong, rejoin=False)
+        assert weak.attached  # root still had layer-1 slots
+
+
+class TestTimeOrderedKeys:
+    def test_priority_is_join_time(self, harness):
+        proto = RelaxedTimeOrderedProtocol(harness.ctx)
+        node = harness.new_member(join_time=123.0)
+        assert proto.eviction_priority(node) == 123.0
+
+    def test_adoption_prefers_oldest(self, harness):
+        proto = RelaxedTimeOrderedProtocol(harness.ctx)
+        old = harness.new_member(join_time=0.0)
+        young = harness.new_member(join_time=50.0)
+        assert sorted([young, old], key=proto.adoption_order) == [old, young]
+
+
+class TestBandwidthOrderedKeys:
+    def test_priority_is_negative_bandwidth(self, harness):
+        proto = RelaxedBandwidthOrderedProtocol(harness.ctx)
+        node = harness.new_member(bandwidth=4.0)
+        assert proto.eviction_priority(node) == -4.0

@@ -1,0 +1,52 @@
+"""Per-member playback state across episodes."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.recovery.buffer import PlaybackState
+
+
+def test_full_buffer_in_steady_state():
+    state = PlaybackState(buffer_s=5.0, join_time_s=0.0)
+    assert state.buffer_ahead_at(100.0) == 5.0
+
+
+def test_startup_buffering_ramp():
+    state = PlaybackState(buffer_s=5.0, join_time_s=10.0)
+    assert state.buffer_ahead_at(12.0) == pytest.approx(2.0)
+    assert state.buffer_ahead_at(30.0) == 5.0
+
+
+def test_back_to_back_failures_find_empty_buffer():
+    state = PlaybackState(buffer_s=5.0, join_time_s=0.0)
+    state.record_episode(t=100.0, starving_s=3.0, repair_end_s=20.0)
+    assert state.buffer_ahead_at(110.0) == 0.0  # repair still busy
+    assert state.buffer_ahead_at(130.0) == 5.0  # recovered
+
+
+def test_starving_accumulates():
+    state = PlaybackState(buffer_s=5.0, join_time_s=0.0)
+    state.record_episode(100.0, 3.0, 20.0)
+    state.record_episode(200.0, 2.0, 20.0)
+    assert state.starving_s == 5.0
+    assert state.episodes == 2
+
+
+def test_ratio_capped_and_view_time():
+    state = PlaybackState(buffer_s=5.0, join_time_s=0.0)
+    state.record_episode(10.0, 1000.0, 20.0)
+    assert state.view_time_at(105.0) == pytest.approx(100.0)
+    assert state.starving_ratio_at(105.0) == 1.0
+
+
+def test_ratio_zero_before_playback_starts():
+    state = PlaybackState(buffer_s=5.0, join_time_s=0.0)
+    assert state.starving_ratio_at(3.0) == 0.0
+
+
+def test_validation():
+    with pytest.raises(RecoveryError):
+        PlaybackState(buffer_s=0.0, join_time_s=0.0)
+    state = PlaybackState(buffer_s=5.0, join_time_s=0.0)
+    with pytest.raises(RecoveryError):
+        state.record_episode(1.0, -1.0, 2.0)

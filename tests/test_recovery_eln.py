@@ -1,0 +1,69 @@
+"""Explicit Loss Notification state machine."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.recovery.eln import ElnTracker, LossOrigin
+
+
+def test_healthy_stream():
+    tracker = ElnTracker()
+    for seq in range(10):
+        tracker.on_data(seq)
+    assert tracker.origin(next_expected=0) is LossOrigin.NONE
+
+
+def test_upstream_loss_via_eln():
+    tracker = ElnTracker()
+    tracker.on_data(0)
+    tracker.on_data(1)
+    for seq in (2, 3, 4, 5):
+        tracker.on_eln(seq)  # parent says: I'm missing these too
+    tracker.on_data(6)
+    assert tracker.origin(next_expected=0) is LossOrigin.UPSTREAM
+
+
+def test_silent_gap_means_parent_failure():
+    tracker = ElnTracker(gap_threshold=3)
+    tracker.on_data(0)
+    tracker.on_data(8)  # sequences 1..7 completely silent
+    assert tracker.origin(next_expected=0) is LossOrigin.PARENT
+
+
+def test_small_silent_gap_tolerated():
+    tracker = ElnTracker(gap_threshold=3)
+    tracker.on_data(0)
+    tracker.on_data(3)  # gap of 2 < threshold
+    assert tracker.origin(next_expected=0) is LossOrigin.NONE
+
+
+def test_eln_resets_silence_counter():
+    tracker = ElnTracker(gap_threshold=3)
+    tracker.on_data(0)
+    tracker.on_eln(2)
+    tracker.on_eln(5)
+    tracker.on_data(7)
+    # silent gaps are 1,1 and 1 — never above the threshold
+    assert tracker.origin(next_expected=0) is LossOrigin.UPSTREAM
+
+
+def test_totally_silent_parent():
+    tracker = ElnTracker(gap_threshold=3)
+    tracker.on_data(0)
+    assert tracker.origin(next_expected=10) is LossOrigin.PARENT
+
+
+def test_missing_below():
+    tracker = ElnTracker()
+    tracker.on_data(0)
+    tracker.on_eln(1)
+    tracker.on_data(3)
+    assert tracker.missing_below(4) == [2]
+
+
+def test_negative_sequences_rejected():
+    tracker = ElnTracker()
+    with pytest.raises(RecoveryError):
+        tracker.on_data(-1)
+    with pytest.raises(RecoveryError):
+        tracker.on_eln(-5)

@@ -1,0 +1,167 @@
+"""Packet-level starvation episodes: deadlines, striping, fallbacks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RecoveryError
+from repro.recovery.episode import RepairSource, starvation_episode
+
+
+def src(rate, has_data=True, member_id=1, delay=10.0):
+    return RepairSource(member_id=member_id, rate_pps=rate, has_data=has_data, delay_ms=delay)
+
+
+def episode(sources, gap=150, rate=10.0, buffer_s=5.0, detect=5.0, hop=0.5, striped=True):
+    return starvation_episode(
+        gap_packets=gap,
+        packet_rate_pps=rate,
+        buffer_ahead_s=buffer_s,
+        detect_s=detect,
+        request_hop_s=hop,
+        sources=sources,
+        striped=striped,
+    )
+
+
+class TestBasics:
+    def test_zero_gap_is_free(self):
+        out = episode([], gap=0)
+        assert out.starving_s == 0.0
+        assert out.missed_packets == 0
+
+    def test_no_sources_loses_everything(self):
+        out = episode([])
+        assert out.missed_packets == 150
+        assert out.starving_s == pytest.approx(15.0)
+        assert out.coverage == 0.0
+
+    def test_full_rate_source_with_slack_repairs_everything(self):
+        # rate 10 source covers the stream; generous buffer absorbs detection
+        out = episode([src(10.0)], buffer_s=30.0)
+        assert out.missed_packets == 0
+        assert out.repaired_in_time == 150
+        assert out.coverage == pytest.approx(1.0)
+
+    def test_detection_time_eats_slack(self):
+        # buffer exactly equals detection: a full-rate source still misses a
+        # little because each packet takes 1/rate to send
+        out = episode([src(10.0)], buffer_s=5.0, detect=5.0, hop=0.0)
+        assert 0 < out.missed_packets <= 150
+
+    def test_dataless_sources_cost_a_hop(self):
+        direct = episode([src(10.0)], buffer_s=7.0, hop=1.0)
+        behind_nack = episode(
+            [src(10.0, has_data=False), src(10.0, member_id=2)],
+            buffer_s=7.0,
+            hop=1.0,
+        )
+        assert behind_nack.missed_packets >= direct.missed_packets
+
+    def test_invalid_arguments(self):
+        with pytest.raises(RecoveryError):
+            episode([], gap=-1)
+        with pytest.raises(RecoveryError):
+            episode([], rate=0.0)
+        with pytest.raises(RecoveryError):
+            episode([], buffer_s=-1.0)
+
+
+class TestStriping:
+    def test_partial_coverage_matches_residual_fraction(self):
+        # a single source with 60% of the stream rate: packets whose
+        # (n mod 100) falls outside the covered range are unassigned and
+        # lost regardless of deadlines
+        out = episode([src(6.0)], buffer_s=100.0)
+        assert out.coverage == pytest.approx(0.6)
+        expected_missed = sum(1 for k in range(150) if (k % 100) >= 60)
+        assert out.missed_packets == expected_missed
+
+    def test_two_sources_stripe_ranges(self):
+        out = episode([src(6.0), src(4.0, member_id=2)], buffer_s=100.0)
+        assert out.coverage == pytest.approx(1.0)
+        assert out.missed_packets == 0
+
+    def test_sources_beyond_full_rate_unused(self):
+        out = episode(
+            [src(10.0), src(9.0, member_id=2), src(9.0, member_id=3)],
+            buffer_s=100.0,
+        )
+        assert out.coverage == pytest.approx(1.0)
+
+    def test_zero_rate_sources_skipped(self):
+        out = episode([src(0.0), src(10.0, member_id=2)], buffer_s=100.0)
+        assert out.coverage == pytest.approx(1.0)
+
+    def test_affected_sources_supply_nothing(self):
+        out = episode([src(10.0, has_data=False)], buffer_s=100.0)
+        assert out.coverage == 0.0
+        assert out.missed_packets == 150
+
+
+class TestSequential:
+    def test_first_usable_source_serves_all(self):
+        out = episode([src(10.0)], striped=False, buffer_s=100.0)
+        assert out.missed_packets == 0
+        assert out.coverage == pytest.approx(1.0)
+
+    def test_slow_single_source_misses_tail(self):
+        out = episode([src(2.0)], striped=False, buffer_s=5.0)
+        # 150 packets at 2 pkt/s takes 75 s; most deadlines pass
+        assert out.missed_packets > 100
+
+    def test_second_source_not_aggregated(self):
+        """Sequential repair cannot pool residual bandwidths (the key
+        difference from CER)."""
+        sources = [src(5.0), src(5.0, member_id=2)]
+        seq = episode(sources, striped=False, buffer_s=10.0)
+        cer = episode(sources, striped=True, buffer_s=10.0)
+        assert cer.missed_packets < seq.missed_packets
+
+    def test_falls_through_dead_sources(self):
+        out = episode(
+            [src(0.0), src(8.0, has_data=False, member_id=2), src(10.0, member_id=3)],
+            striped=False,
+            buffer_s=100.0,
+        )
+        assert out.coverage == pytest.approx(1.0)
+
+    def test_all_dead_sources(self):
+        out = episode([src(0.0), src(5.0, has_data=False, member_id=2)], striped=False)
+        assert out.missed_packets == 150
+
+
+class TestMonotonicity:
+    def test_bigger_buffer_never_hurts(self):
+        sources = [src(4.0), src(3.0, member_id=2)]
+        prev = None
+        for buffer_s in [5.0, 10.0, 20.0, 30.0]:
+            out = episode(sources, buffer_s=buffer_s)
+            if prev is not None:
+                assert out.missed_packets <= prev
+            prev = out.missed_packets
+
+    def test_more_group_members_never_hurt_striped(self):
+        sources = [src(3.0, member_id=i) for i in range(1, 5)]
+        prev = None
+        for k in range(1, 5):
+            out = episode(sources[:k])
+            if prev is not None:
+                assert out.missed_packets <= prev + 1  # hop jitter tolerance
+            prev = out.missed_packets
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rates=st.lists(st.floats(0.0, 9.0), min_size=0, max_size=5),
+    buffer_s=st.floats(1.0, 30.0),
+    gap=st.integers(0, 200),
+    striped=st.booleans(),
+)
+def test_episode_bounds(rates, buffer_s, gap, striped):
+    sources = [src(r, member_id=i + 1) for i, r in enumerate(rates)]
+    out = episode(sources, gap=gap, buffer_s=buffer_s, striped=striped)
+    assert 0 <= out.missed_packets <= gap
+    assert out.repaired_in_time + out.missed_packets == gap
+    assert out.starving_s == pytest.approx(out.missed_packets / 10.0)
+    assert 0.0 <= out.coverage <= 1.0
+    assert out.repair_end_s >= 0.0

@@ -1,0 +1,41 @@
+"""Recovery scheme descriptors."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.recovery.schemes import RecoveryScheme, cer_scheme, single_source_scheme
+
+
+def test_cer_scheme_defaults():
+    scheme = cer_scheme(3)
+    assert scheme.use_mlc and scheme.striped and scheme.eln
+    assert scheme.group_size == 3
+    assert scheme.buffer_s == 5.0
+    assert "cer-k3" in scheme.name
+
+
+def test_single_source_scheme():
+    scheme = single_source_scheme(2)
+    assert not scheme.use_mlc and not scheme.striped
+    assert scheme.group_size == 2
+
+
+def test_names_unique_across_grid():
+    names = {
+        s.name
+        for s in (
+            [cer_scheme(k) for k in (1, 2, 3, 4)]
+            + [cer_scheme(2, buffer_s=10.0)]
+            + [cer_scheme(2, eln=False)]
+            + [single_source_scheme(k) for k in (1, 2, 3)]
+            + [single_source_scheme(2, use_mlc=True)]
+        )
+    }
+    assert len(names) == 10
+
+
+def test_validation():
+    with pytest.raises(RecoveryError):
+        RecoveryScheme("x", group_size=0, use_mlc=True, striped=True, buffer_s=5.0)
+    with pytest.raises(RecoveryError):
+        RecoveryScheme("x", group_size=1, use_mlc=True, striped=True, buffer_s=0.0)

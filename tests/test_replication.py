@@ -1,0 +1,54 @@
+"""Multi-seed replication of experiments."""
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.replication import replicate
+from repro.experiments.runner import main
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+def test_replicate_merges_sweep_series():
+    result = replicate("fig04", seeds=[3, 4], scale=0.02, sizes=(2000, 5000))
+    assert result.summary_table is not None
+    assert set(result.summary) == {
+        "min-depth", "longest-first", "relaxed-bo", "relaxed-to", "rost",
+    }
+    for stats in result.summary.values():
+        assert len(stats["mean"]) == 2
+        assert len(stats["ci95"]) == 2
+        assert all(c >= 0 for c in stats["ci95"])
+    assert "mean ± 95% CI over 2 seeds" in result.summary_table
+
+
+def test_replicate_single_seed_passes_through():
+    result = replicate("fig04", seeds=[3], scale=0.02, sizes=(2000,))
+    assert result.summary_table is None
+    assert len(result.replicas) == 1
+    assert "Fig. 4" in str(result)
+
+
+def test_replicate_unmergeable_reports_per_seed():
+    result = replicate("fig14", seeds=[3, 4], scale=0.02, population=2000, replicas=2)
+    assert result.summary_table is None
+    assert len(result.replicas) == 2
+
+
+def test_replicate_requires_seeds():
+    with pytest.raises(ValueError):
+        replicate("fig04", seeds=[])
+
+
+def test_cli_replicas_flag(capsys):
+    code = main([
+        "run", "fig04", "--scale", "0.02", "--seed", "3", "--replicas", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean ± 95% CI over 2 seeds" in out

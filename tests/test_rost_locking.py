@@ -1,0 +1,58 @@
+"""Lock-set computation and atomic acquisition."""
+
+import pytest
+
+from repro.protocols.rost.locking import switch_lock_set, try_lock_all
+from tests.conftest import make_node
+
+
+def build_family():
+    gp = make_node(1, cap=3)
+    parent = make_node(2, cap=3)
+    initiator = make_node(3, cap=3)
+    sibling = make_node(4, cap=3)
+    child = make_node(5, cap=3)
+    parent.parent = gp
+    gp.children = [parent]
+    initiator.parent = parent
+    sibling.parent = parent
+    parent.children = [initiator, sibling]
+    child.parent = initiator
+    initiator.children = [child]
+    return gp, parent, initiator, sibling, child
+
+
+def test_lock_set_contents():
+    gp, parent, initiator, sibling, child = build_family()
+    involved = switch_lock_set(initiator)
+    assert set(involved) == {initiator, parent, gp, sibling, child}
+
+
+def test_lock_set_requires_grandparent():
+    node = make_node(1)
+    node.parent = make_node(2)
+    with pytest.raises(ValueError):
+        switch_lock_set(node)
+
+
+def test_try_lock_all_success():
+    gp, parent, initiator, sibling, child = build_family()
+    nodes = switch_lock_set(initiator)
+    assert try_lock_all(nodes, now=0.0, until=5.0)
+    assert all(n.is_locked(1.0) for n in nodes)
+    assert all(not n.is_locked(5.0) for n in nodes)
+
+
+def test_try_lock_all_atomic_failure():
+    gp, parent, initiator, sibling, child = build_family()
+    sibling.lock(10.0)
+    nodes = [initiator, parent, gp, child]
+    assert not try_lock_all(nodes + [sibling], now=0.0, until=5.0)
+    # nothing else was locked
+    assert all(not n.is_locked(1.0) for n in nodes)
+
+
+def test_expired_locks_do_not_block():
+    nodes = [make_node(i) for i in range(3)]
+    nodes[0].lock(5.0)
+    assert try_lock_all(nodes, now=6.0, until=10.0)

@@ -1,0 +1,193 @@
+"""Referee mechanism: truth-keeping, replacement, cheat resistance."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocols.rost import RostProtocol
+from repro.protocols.rost.referees import RefereeService
+from tests.protocol_harness import Harness
+
+
+@pytest.fixture()
+def harness(tiny_topology, tiny_oracle):
+    return Harness(tiny_topology, tiny_oracle, root_cap=10)
+
+
+@pytest.fixture()
+def service(harness):
+    return RefereeService(harness.ctx)
+
+
+def attach_members(harness, count, bandwidth=2.0):
+    members = []
+    for _ in range(count):
+        node = harness.new_member(bandwidth=bandwidth)
+        harness.tree.attach(node, harness.tree.root)
+        members.append(node)
+    return members
+
+
+def test_register_records_truth(harness, service):
+    attach_members(harness, 5)
+    node = harness.new_member(bandwidth=3.0, join_time=10.0)
+    node.claimed_bandwidth = 99.0
+    node.claimed_join_time = -1e6
+    service.register(node, now=10.0)
+    bandwidth, join_time = service.verified(node)
+    # the measurer set observes the true rate up to measurement noise;
+    # the claim (99.0) never enters the estimate
+    assert bandwidth == pytest.approx(3.0, rel=0.25)
+    assert join_time == 10.0
+
+
+def test_verified_btp_uses_truth(harness, service):
+    attach_members(harness, 5)
+    node = harness.new_member(bandwidth=2.0, join_time=0.0)
+    node.claimed_bandwidth = 100.0
+    service.register(node, now=0.0)
+    assert service.verified_btp(node, now=50.0) == pytest.approx(100.0, rel=0.25)
+
+
+def test_measurement_noise_zero_is_exact(harness):
+    import dataclasses
+
+    from repro.protocols.base import ProtocolContext
+
+    ctx = dataclasses.replace(
+        harness.ctx,
+        config=dataclasses.replace(harness.ctx.config, measurement_noise=0.0),
+    )
+    service = RefereeService(ctx)
+    attach_members(harness, 4)
+    node = harness.new_member(bandwidth=3.5)
+    service.register(node, now=0.0)
+    assert service.verified(node)[0] == 3.5
+
+
+def test_measurement_aggregates_partials(harness):
+    """The aggregate stays near the truth as the measurer count grows."""
+    import dataclasses
+
+    estimates = []
+    for seed in range(5):
+        ctx = dataclasses.replace(
+            harness.ctx,
+            config=dataclasses.replace(
+                harness.ctx.config, bandwidth_measurers=8, measurement_noise=0.1
+            ),
+        )
+        service = RefereeService(ctx)
+        node = harness.new_member(bandwidth=10.0)
+        service.register(node, now=0.0)
+        estimates.append(service.verified(node)[0])
+    assert sum(estimates) / len(estimates) == pytest.approx(10.0, rel=0.1)
+
+
+def test_root_btp_infinite(harness, service):
+    import math
+
+    assert math.isinf(service.verified_btp(harness.tree.root, now=10.0))
+
+
+def test_referee_counts(harness, service):
+    attach_members(harness, 6)
+    node = harness.new_member()
+    service.register(node, now=0.0)
+    expected = harness.ctx.config.age_referees + harness.ctx.config.bandwidth_referees
+    assert service.referee_count(node.member_id) == expected
+
+
+def test_duplicate_registration_rejected(harness, service):
+    attach_members(harness, 3)
+    node = harness.new_member()
+    service.register(node, now=0.0)
+    with pytest.raises(ProtocolError):
+        service.register(node, now=1.0)
+
+
+def test_unregistered_falls_back_to_claims(harness, service):
+    node = harness.new_member(bandwidth=1.0)
+    node.claimed_bandwidth = 77.0
+    bandwidth, _ = service.verified(node)
+    assert bandwidth == 77.0
+
+
+def test_departed_referee_is_replaced(harness, service):
+    attach_members(harness, 8)
+    node = harness.new_member(bandwidth=3.0)
+    service.register(node, now=0.0)
+    record = service._records[node.member_id]
+    victim_id = record.age_referees[0]
+    victim = harness.tree.members[victim_id]
+    service.on_departure(victim)
+    assert victim_id not in (record.age_referees + record.bandwidth_referees)
+    assert service.referee_count(node.member_id) == (
+        harness.ctx.config.age_referees + harness.ctx.config.bandwidth_referees
+    )
+    assert service.replacements >= 1
+    # the record still answers with the original measurement
+    assert service.verified(node)[0] == pytest.approx(3.0, rel=0.25)
+
+
+def test_ward_departure_drops_record(harness, service):
+    attach_members(harness, 5)
+    node = harness.new_member()
+    service.register(node, now=0.0)
+    service.on_departure(node)
+    assert not service.has_record(node.member_id)
+
+
+def test_heartbeat_estimate_scales(harness, service):
+    attach_members(harness, 5)
+    for _ in range(3):
+        node = harness.new_member()
+        service.register(node, now=0.0)
+    assert service.estimated_heartbeat_messages(300.0, interval_s=30.0) == 3 * 4 * 10
+
+
+class TestCheaterEndToEnd:
+    def _cheat(self, node):
+        node.claimed_bandwidth = 100.0
+        node.claimed_join_time = node.join_time - 10**7
+
+    def test_referees_stop_cheater_climb(self, tiny_topology, tiny_oracle):
+        from repro.config import ProtocolConfig
+
+        harness = Harness(
+            tiny_topology,
+            tiny_oracle,
+            protocol_config=ProtocolConfig(switch_interval_s=50.0),
+            root_cap=1,
+        )
+        proto = RostProtocol(harness.ctx, use_referees=True)
+        honest = harness.new_member(bandwidth=5.0, join_time=0.0)
+        assert proto.place(honest, rejoin=False)
+        cheater = harness.new_member(bandwidth=1.0, cap=1, join_time=0.0)
+        self._cheat(cheater)
+        harness.tree.attach(cheater, honest)
+        proto._start_switching(cheater)
+        proto.referees.register(cheater, harness.sim.now)
+        harness.sim.run_until(2000.0)
+        # verified bandwidth (1.0) < parent's (5.0): the guard holds
+        assert cheater.parent is honest
+
+    def test_without_referees_cheater_climbs(self, tiny_topology, tiny_oracle):
+        from repro.config import ProtocolConfig
+
+        harness = Harness(
+            tiny_topology,
+            tiny_oracle,
+            protocol_config=ProtocolConfig(switch_interval_s=50.0),
+            root_cap=1,
+        )
+        proto = RostProtocol(harness.ctx, use_referees=False)
+        honest = harness.new_member(bandwidth=5.0, cap=5, join_time=0.0)
+        assert proto.place(honest, rejoin=False)
+        cheater = harness.new_member(bandwidth=1.0, cap=1, join_time=0.0)
+        self._cheat(cheater)
+        harness.tree.attach(cheater, honest)
+        proto._start_switching(cheater)
+        harness.sim.run_until(2000.0)
+        # claims accepted at face value: the cheater displaces its parent
+        assert cheater.parent is harness.tree.root
+        assert honest.parent is cheater

@@ -1,0 +1,45 @@
+"""The experiments command-line interface."""
+
+import json
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.runner import main
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig04" in out and "fig14" in out
+
+
+def test_run_command_prints_table(capsys, tmp_path):
+    out_file = tmp_path / "tables.txt"
+    json_file = tmp_path / "data.json"
+    code = main([
+        "run", "fig04",
+        "--scale", "0.02",
+        "--seed", "3",
+        "--out", str(out_file),
+        "--json", str(json_file),
+    ])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "Fig. 4" in printed
+    assert "rost" in printed
+    assert "Fig. 4" in out_file.read_text()
+    data = json.loads(json_file.read_text())
+    assert "fig04" in data and "series" in data["fig04"]
+
+
+def test_run_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        main(["run", "fig99", "--scale", "0.02"])

@@ -1,0 +1,122 @@
+"""Simulator clock semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(3.0, lambda: seen.append(sim.now))
+    sim.schedule_at(7.0, lambda: seen.append(sim.now))
+    sim.run_until(10.0)
+    assert seen == [3.0, 7.0]
+    assert sim.now == 10.0
+    assert sim.events_processed == 2
+
+
+def test_run_until_leaves_future_events_pending():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(5.0, lambda: fired.append("early"))
+    sim.schedule_at(15.0, lambda: fired.append("late"))
+    sim.run_until(10.0)
+    assert fired == ["early"]
+    assert sim.pending_events == 1
+    sim.run_until(20.0)
+    assert fired == ["early", "late"]
+
+
+def test_boundary_event_fires():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(10.0, lambda: fired.append(1))
+    sim.run_until(10.0)
+    assert fired == [1]
+
+
+def test_schedule_in_relative_delay():
+    sim = Simulator()
+    times = []
+    sim.schedule_in(2.0, lambda: times.append(sim.now))
+    sim.run_until(5.0)
+    assert times == [2.0]
+
+
+def test_events_scheduled_during_run_fire_in_order():
+    sim = Simulator()
+    log = []
+
+    def first():
+        log.append(("first", sim.now))
+        sim.schedule_in(1.0, lambda: log.append(("chained", sim.now)))
+
+    sim.schedule_at(1.0, first)
+    sim.run_until(10.0)
+    assert log == [("first", 1.0), ("chained", 2.0)]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.run_until(5.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(4.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule_in(-1.0, lambda: None)
+
+
+def test_run_until_backwards_rejected():
+    sim = Simulator()
+    sim.run_until(5.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(4.0)
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run_until(100.0)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule_at(1.0, reenter)
+    sim.run_until(10.0)
+    assert len(errors) == 1
+
+
+def test_run_drains_queue():
+    sim = Simulator()
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule_at(t, lambda t=t: fired.append(t))
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+    assert sim.pending_events == 0
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule_at(t, lambda t=t: fired.append(t))
+    sim.run(max_events=2)
+    assert fired == [1.0, 2.0]
+    assert sim.pending_events == 1
+
+
+def test_reset_rewinds_everything():
+    sim = Simulator()
+    sim.schedule_at(1.0, lambda: None)
+    sim.run_until(0.5)
+    sim.reset()
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+    assert sim.events_processed == 0

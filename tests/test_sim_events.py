@@ -1,0 +1,98 @@
+"""Event queue ordering, cancellation and determinism."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+def test_pops_in_time_order():
+    q = EventQueue()
+    fired = []
+    for t in [5.0, 1.0, 3.0]:
+        q.schedule(t, lambda t=t: fired.append(t))
+    while q:
+        q.pop().action()
+    assert fired == [1.0, 3.0, 5.0]
+
+
+def test_same_time_fifo_by_schedule_order():
+    q = EventQueue()
+    order = []
+    for i in range(10):
+        q.schedule(1.0, lambda i=i: order.append(i))
+    while q:
+        q.pop().action()
+    assert order == list(range(10))
+
+
+def test_priority_breaks_time_ties():
+    q = EventQueue()
+    order = []
+    q.schedule(1.0, lambda: order.append("late"), priority=5)
+    q.schedule(1.0, lambda: order.append("early"), priority=-5)
+    while q:
+        q.pop().action()
+    assert order == ["early", "late"]
+
+
+def test_cancel_skips_event():
+    q = EventQueue()
+    fired = []
+    keep = q.schedule(1.0, lambda: fired.append("keep"))
+    drop = q.schedule(0.5, lambda: fired.append("drop"))
+    drop.cancel()
+    while q:
+        q.pop().action()
+    assert fired == ["keep"]
+    assert not keep.cancelled
+
+
+def test_cancel_is_idempotent_and_len_accurate():
+    q = EventQueue()
+    e1 = q.schedule(1.0, lambda: None)
+    q.schedule(2.0, lambda: None)
+    assert len(q) == 2
+    e1.cancel()
+    e1.cancel()
+    assert len(q) == 1
+    assert q.pop().time == 2.0
+    assert len(q) == 0
+    assert not q
+
+
+def test_peek_time_skips_cancelled_head():
+    q = EventQueue()
+    head = q.schedule(1.0, lambda: None)
+    q.schedule(2.0, lambda: None)
+    head.cancel()
+    assert q.peek_time() == 2.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_pop_empty_raises():
+    with pytest.raises(SimulationError):
+        EventQueue().pop()
+
+
+def test_schedule_nan_rejected():
+    with pytest.raises(SimulationError):
+        EventQueue().schedule(float("nan"), lambda: None)
+
+
+def test_clear_discards_everything():
+    q = EventQueue()
+    events = [q.schedule(float(i), lambda: None) for i in range(5)]
+    q.clear()
+    assert len(q) == 0
+    assert q.peek_time() is None
+    assert all(e.cancelled for e in events)
+
+
+def test_labels_are_kept():
+    q = EventQueue()
+    e = q.schedule(1.0, lambda: None, label="rejoin")
+    assert e.label == "rejoin"

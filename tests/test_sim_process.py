@@ -1,0 +1,122 @@
+"""Timer and PeriodicProcess behaviour."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess, Timer
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 5.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run_until(10.0)
+        assert fired == [5.0]
+        assert not timer.pending
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 5.0, lambda: fired.append(1))
+        timer.start()
+        timer.cancel()
+        sim.run_until(10.0)
+        assert fired == []
+
+    def test_restart_pushes_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 5.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run_until(3.0)
+        timer.restart()
+        sim.run_until(20.0)
+        assert fired == [8.0]
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        timer = Timer(sim, 5.0, lambda: None)
+        timer.start()
+        with pytest.raises(SimulationError):
+            timer.start()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Timer(Simulator(), -1.0, lambda: None)
+
+    def test_restart_after_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 2.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run_until(3.0)
+        timer.restart()
+        sim.run_until(10.0)
+        assert fired == [2.0, 5.0]
+
+
+class TestPeriodicProcess:
+    def test_fires_every_interval(self):
+        sim = Simulator()
+        fired = []
+        proc = PeriodicProcess(sim, 2.0, lambda: fired.append(sim.now))
+        proc.start()
+        sim.run_until(9.0)
+        assert fired == [2.0, 4.0, 6.0, 8.0]
+
+    def test_initial_delay_override(self):
+        sim = Simulator()
+        fired = []
+        proc = PeriodicProcess(sim, 5.0, lambda: fired.append(sim.now))
+        proc.start(initial_delay=1.0)
+        sim.run_until(12.0)
+        assert fired == [1.0, 6.0, 11.0]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        fired = []
+        proc = PeriodicProcess(sim, 2.0, lambda: fired.append(sim.now))
+        proc.start()
+        sim.run_until(5.0)
+        proc.stop()
+        sim.run_until(20.0)
+        assert fired == [2.0, 4.0]
+        assert not proc.running
+
+    def test_action_may_stop_its_own_process(self):
+        sim = Simulator()
+        fired = []
+        proc = PeriodicProcess(sim, 1.0, lambda: (fired.append(sim.now), proc.stop()))
+        proc.start()
+        sim.run_until(10.0)
+        assert fired == [1.0]
+
+    def test_jitter_shifts_rounds(self):
+        sim = Simulator()
+        fired = []
+        proc = PeriodicProcess(
+            sim, 10.0, lambda: fired.append(sim.now), jitter=lambda: -2.0
+        )
+        proc.start()
+        sim.run_until(30.0)
+        # every round happens 2 s early relative to the nominal period
+        assert fired == [8.0, 16.0, 24.0]
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        proc = PeriodicProcess(sim, 1.0, lambda: None)
+        proc.start()
+        with pytest.raises(SimulationError):
+            proc.start()
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            PeriodicProcess(Simulator(), 0.0, lambda: None)
+
+    def test_stop_is_idempotent(self):
+        proc = PeriodicProcess(Simulator(), 1.0, lambda: None)
+        proc.stop()
+        proc.stop()

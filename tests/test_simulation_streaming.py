@@ -1,0 +1,102 @@
+"""Recovery simulation: scheme grids over one churn pass."""
+
+import pytest
+
+from repro.protocols import PROTOCOLS
+from repro.recovery.schemes import cer_scheme, single_source_scheme
+from repro.simulation.streaming import RecoverySimulation
+from tests.conftest import small_sim_config
+
+
+@pytest.fixture(scope="module")
+def recovery_result():
+    """One shared run evaluating a representative scheme grid."""
+    schemes = [
+        cer_scheme(1),
+        cer_scheme(2),
+        cer_scheme(3),
+        cer_scheme(3, buffer_s=20.0),
+        single_source_scheme(1),
+        single_source_scheme(3),
+        cer_scheme(2, eln=False),
+    ]
+    sim = RecoverySimulation(
+        small_sim_config(population=120, seed=21, measure_lifetimes=1.0),
+        PROTOCOLS["min-depth"],
+        schemes,
+    )
+    return sim.run()
+
+
+def test_all_schemes_evaluated(recovery_result):
+    assert len(recovery_result.schemes) == 7
+    for result in recovery_result.schemes.values():
+        assert result.ratios, f"no ratios for {result.scheme.name}"
+
+
+def test_ratios_are_percent_fractions(recovery_result):
+    for result in recovery_result.schemes.values():
+        assert all(0.0 <= r <= 1.0 for r in result.ratios)
+        assert 0.0 <= result.avg_starving_ratio_pct <= 100.0
+
+
+def test_bigger_cer_group_starves_less(recovery_result):
+    r1 = recovery_result.ratio_pct("cer-k1-b5")
+    r3 = recovery_result.ratio_pct("cer-k3-b5")
+    assert r3 <= r1
+
+
+def test_bigger_buffer_starves_less(recovery_result):
+    small = recovery_result.ratio_pct("cer-k3-b5")
+    big = recovery_result.ratio_pct("cer-k3-b20")
+    assert big <= small
+
+
+def test_cer_beats_single_source(recovery_result):
+    cer = recovery_result.ratio_pct("cer-k3-b5")
+    ss = recovery_result.ratio_pct("ss-k3-b5")
+    assert cer <= ss
+
+
+def test_episode_counters_consistent(recovery_result):
+    for result in recovery_result.schemes.values():
+        if result.episodes:
+            assert 0.0 <= result.mean_coverage <= 1.0
+
+
+def test_churn_result_attached(recovery_result):
+    assert recovery_result.churn.sessions_total > 0
+
+
+def test_duplicate_scheme_names_rejected():
+    with pytest.raises(ValueError):
+        RecoverySimulation(
+            small_sim_config(population=20),
+            PROTOCOLS["min-depth"],
+            [cer_scheme(1), cer_scheme(1)],
+        )
+
+
+def test_deterministic_same_seed():
+    def once():
+        sim = RecoverySimulation(
+            small_sim_config(population=60, seed=9, measure_lifetimes=0.5),
+            PROTOCOLS["min-depth"],
+            [cer_scheme(2)],
+        )
+        out = sim.run()
+        return out.schemes["cer-k2-b5"].ratios
+
+    assert once() == once()
+
+
+def test_residuals_stable_per_member():
+    sim = RecoverySimulation(
+        small_sim_config(population=20, seed=9),
+        PROTOCOLS["min-depth"],
+        [cer_scheme(2)],
+    )
+    observer = sim.observer
+    assert observer.residual_pps(5) == observer.residual_pps(5)
+    assert 0.0 <= observer.residual_pps(5) <= 9.0
+    assert observer.residual_pps(5) != observer.residual_pps(6)

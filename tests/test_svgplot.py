@@ -1,0 +1,116 @@
+"""SVG chart rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.registry import ExperimentResult
+from repro.metrics.svgplot import experiment_chart, line_chart, nice_ticks
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+SERIES = {"rost": [0.4, 0.6, 0.8], "min-depth": [1.7, 4.5, 5.4]}
+XS = [2000, 5000, 8000]
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = nice_ticks(0.0, 7.3)
+        assert ticks[0] <= 0.0
+        assert ticks[-1] >= 7.3
+
+    def test_reasonable_count(self):
+        for low, high in [(0, 1), (0, 14000), (0.1, 0.9), (-5, 5)]:
+            ticks = nice_ticks(low, high)
+            assert 2 <= len(ticks) <= 8
+
+    def test_degenerate_range(self):
+        assert len(nice_ticks(3.0, 3.0)) >= 2
+
+
+class TestLineChart:
+    def test_well_formed_xml(self):
+        svg = line_chart("T", "x", "y", XS, SERIES)
+        root = parse(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_polyline_per_series(self):
+        svg = line_chart("T", "x", "y", XS, SERIES)
+        root = parse(svg)
+        polylines = root.findall(".//{http://www.w3.org/2000/svg}polyline")
+        assert len(polylines) == 2
+
+    def test_title_and_labels_present(self):
+        svg = line_chart("My Title", "network size", "disruptions", XS, SERIES)
+        assert "My Title" in svg
+        assert "network size" in svg
+        assert "disruptions" in svg
+        assert "rost" in svg and "min-depth" in svg
+
+    def test_y_mapping_is_monotone(self):
+        svg = line_chart("T", "x", "y", XS, {"a": [0.0, 10.0, 20.0]})
+        root = parse(svg)
+        polyline = root.find(".//{http://www.w3.org/2000/svg}polyline")
+        points = [
+            tuple(map(float, p.split(","))) for p in polyline.get("points").split()
+        ]
+        ys = [p[1] for p in points]
+        assert ys[0] > ys[1] > ys[2]  # larger values plot higher (smaller py)
+
+    def test_nan_points_skipped(self):
+        svg = line_chart("T", "x", "y", XS, {"a": [1.0, float("nan"), 3.0]})
+        root = parse(svg)
+        polyline = root.find(".//{http://www.w3.org/2000/svg}polyline")
+        assert len(polyline.get("points").split()) == 2
+
+    def test_log_scale_requires_positive(self):
+        svg = line_chart("T", "x", "y", XS, {"a": [0.01, 1.0, 100.0]}, log_y=True)
+        parse(svg)
+
+    def test_title_escaping(self):
+        svg = line_chart("a < b & c", "x", "y", XS, SERIES)
+        parse(svg)  # must remain well-formed
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart("T", "x", "y", XS, {"a": [1.0]})
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart("T", "x", "y", [], {})
+
+
+class TestExperimentChart:
+    def test_renders_series_experiments(self):
+        result = ExperimentResult(
+            experiment_id="fig04",
+            title="Avg disruptions",
+            table="",
+            data={"sizes": XS, "series": SERIES},
+        )
+        svg = experiment_chart(result)
+        parse(svg)
+        assert "network size" in svg
+
+    def test_rejects_series_less_experiments(self):
+        result = ExperimentResult("fig14", "combined", "", data={"1": {}})
+        with pytest.raises(ValueError):
+            experiment_chart(result)
+
+
+def test_cli_svg_export(tmp_path):
+    from repro.experiments import common
+    from repro.experiments.runner import main as cli
+
+    common.clear_caches()
+    out_dir = tmp_path / "charts"
+    assert cli([
+        "run", "fig04", "--scale", "0.02", "--seed", "3", "--svg", str(out_dir),
+    ]) == 0
+    svg_file = out_dir / "fig04.svg"
+    assert svg_file.exists()
+    parse(svg_file.read_text())
+    common.clear_caches()

@@ -1,0 +1,90 @@
+"""Euclidean latency-plane underlay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.protocols import PROTOCOLS
+from repro.simulation.churn import ChurnSimulation
+from repro.topology.euclidean import EuclideanUnderlay, generate_euclidean
+from tests.conftest import small_sim_config
+
+
+@pytest.fixture(scope="module")
+def plane():
+    return generate_euclidean(100, seed=9)
+
+
+def test_generation_shapes(plane):
+    assert plane.num_nodes == 100
+    assert plane.stub_nodes == list(range(100))
+
+
+def test_self_delay_zero(plane):
+    assert plane.delay_ms(7, 7) == 0.0
+
+
+def test_symmetry_and_positivity(plane):
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        a, b = rng.integers(0, 100, size=2)
+        d = plane.delay_ms(int(a), int(b))
+        assert d == pytest.approx(plane.delay_ms(int(b), int(a)))
+        if a != b:
+            assert d > 0
+
+
+def test_triangle_inequality(plane):
+    rng = np.random.default_rng(1)
+    for _ in range(200):
+        a, b, c = rng.integers(0, 100, size=3)
+        assert plane.delay_ms(int(a), int(b)) <= (
+            plane.delay_ms(int(a), int(c)) + plane.delay_ms(int(c), int(b)) + 1e-9
+        )
+
+
+def test_delay_includes_access_links(plane):
+    a, b = 3, 17
+    raw = float(np.hypot(*(plane.positions[a] - plane.positions[b])))
+    expected = raw + plane.access_delay_ms[a] + plane.access_delay_ms[b]
+    assert plane.delay_ms(a, b) == pytest.approx(expected)
+
+
+def test_deterministic_generation():
+    p1 = generate_euclidean(50, seed=3)
+    p2 = generate_euclidean(50, seed=3)
+    assert np.allclose(p1.positions, p2.positions)
+    assert not np.allclose(p1.positions, generate_euclidean(50, seed=4).positions)
+
+
+def test_unknown_hosts_rejected(plane):
+    with pytest.raises(TopologyError):
+        plane.delay_ms(0, 100)
+
+
+def test_generation_validation():
+    with pytest.raises(TopologyError):
+        generate_euclidean(0)
+    with pytest.raises(TopologyError):
+        generate_euclidean(10, plane_side_ms=-1.0)
+    with pytest.raises(TopologyError):
+        EuclideanUnderlay(
+            positions=np.zeros((4, 3)), access_delay_ms=np.zeros(4)
+        )
+
+
+def test_churn_simulation_on_the_plane():
+    """The plane duck-types the topology+oracle pair end to end."""
+    plane = generate_euclidean(300, seed=5)
+    cfg = small_sim_config(population=50, seed=6, measure_lifetimes=0.5)
+    sim = ChurnSimulation(
+        cfg,
+        PROTOCOLS["rost"],
+        topology=plane,
+        oracle=plane,
+        check_invariants=True,
+    )
+    result = sim.run()
+    assert result.metrics.mean_population > 0
+    assert result.metrics.avg_service_delay_ms > 0
+    assert result.metrics.avg_stretch >= 1.0

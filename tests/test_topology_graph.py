@@ -1,0 +1,118 @@
+"""Graph structure and shortest paths."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.graph import Graph
+
+
+def build_line(n=5, weight=1.0):
+    g = Graph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, weight)
+    return g
+
+
+class TestStructure:
+    def test_add_node_grows(self):
+        g = Graph(2)
+        assert g.add_node() == 2
+        assert g.num_nodes == 3
+
+    def test_add_edge_and_neighbors(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 2.5)
+        assert g.num_edges == 1
+        assert list(g.neighbors(0)) == [(1, 2.5)]
+        assert list(g.neighbors(1)) == [(0, 2.5)]
+        assert g.degree(0) == 1 and g.degree(2) == 0
+
+    def test_has_edge(self):
+        g = Graph(3)
+        g.add_edge(0, 2, 1.0)
+        assert g.has_edge(0, 2) and g.has_edge(2, 0)
+        assert not g.has_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Graph(2).add_edge(1, 1, 1.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(TopologyError):
+            Graph(2).add_edge(0, 1, -1.0)
+
+    def test_unknown_node_rejected(self):
+        g = Graph(2)
+        with pytest.raises(TopologyError):
+            g.add_edge(0, 5, 1.0)
+        with pytest.raises(TopologyError):
+            g.shortest_paths_from(9)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(TopologyError):
+            Graph(-1)
+
+
+class TestShortestPaths:
+    def test_line_distances(self):
+        g = build_line(5, 2.0)
+        assert g.shortest_paths_from(0) == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+    def test_prefers_lighter_path(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(0, 2, 5.0)
+        assert g.shortest_path(0, 2) == 2.0
+
+    def test_parallel_edges_use_lighter(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 5.0)
+        g.add_edge(0, 1, 2.0)
+        assert g.shortest_path(0, 1) == 2.0
+
+    def test_disconnected_is_inf(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 1.0)
+        assert math.isinf(g.shortest_path(0, 2))
+
+    def test_connectivity(self):
+        g = build_line(4)
+        assert g.is_connected()
+        g2 = Graph(4)
+        g2.add_edge(0, 1, 1.0)
+        assert not g2.is_connected()
+        assert Graph(0).is_connected()
+
+    def test_subgraph_distances(self):
+        g = build_line(4)
+        dists = g.subgraph_distances([0, 3])
+        assert dists[0][3] == 3.0
+        assert dists[3][0] == 3.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_dijkstra_symmetric_and_triangle(data):
+    """On random connected graphs, distances are symmetric and satisfy the
+    triangle inequality."""
+    n = data.draw(st.integers(min_value=3, max_value=12))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+    g = Graph(n)
+    for i in range(1, n):
+        g.add_edge(i, int(rng.integers(0, i)), float(rng.uniform(0.5, 10)))
+    for _ in range(n):
+        a, b = rng.integers(0, n, size=2)
+        if a != b and not g.has_edge(int(a), int(b)):
+            g.add_edge(int(a), int(b), float(rng.uniform(0.5, 10)))
+    dist = [g.shortest_paths_from(i) for i in range(n)]
+    for i in range(n):
+        assert dist[i][i] == 0.0
+        for j in range(n):
+            assert dist[i][j] == pytest.approx(dist[j][i])
+            for k in range(n):
+                assert dist[i][j] <= dist[i][k] + dist[k][j] + 1e-9

@@ -1,0 +1,68 @@
+"""The hierarchical delay oracle must agree exactly with flat Dijkstra."""
+
+import numpy as np
+import pytest
+
+from repro.config import TopologyConfig
+from repro.topology.routing import DelayOracle
+from repro.topology.transit_stub import generate_transit_stub
+
+
+@pytest.fixture(scope="module", params=[3, 17, 42])
+def topo_oracle(request):
+    cfg = TopologyConfig(
+        transit_domains=2,
+        transit_nodes_per_domain=3,
+        stub_domains_per_transit=2,
+        stub_nodes_per_domain=4,
+        seed=request.param,
+    )
+    topo = generate_transit_stub(cfg)
+    return topo, DelayOracle(topo)
+
+
+def test_oracle_matches_flat_dijkstra_everywhere(topo_oracle):
+    topo, oracle = topo_oracle
+    for source in range(topo.num_nodes):
+        truth = topo.graph.shortest_paths_from(source)
+        for target in range(topo.num_nodes):
+            assert oracle.delay_ms(source, target) == pytest.approx(
+                truth[target]
+            ), f"mismatch {source}->{target}"
+
+
+def test_zero_self_delay(topo_oracle):
+    topo, oracle = topo_oracle
+    for node in (0, topo.num_nodes - 1):
+        assert oracle.delay_ms(node, node) == 0.0
+
+
+def test_symmetry(topo_oracle):
+    topo, oracle = topo_oracle
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        a, b = rng.integers(0, topo.num_nodes, size=2)
+        assert oracle.delay_ms(int(a), int(b)) == pytest.approx(
+            oracle.delay_ms(int(b), int(a))
+        )
+
+
+def test_delays_from_vector(topo_oracle):
+    topo, oracle = topo_oracle
+    targets = list(range(0, topo.num_nodes, 7))
+    vec = oracle.delays_from(5, targets)
+    assert len(vec) == len(targets)
+    for value, target in zip(vec, targets):
+        assert value == pytest.approx(oracle.delay_ms(5, target))
+
+
+def test_all_delays_finite_and_positive(topo_oracle):
+    topo, oracle = topo_oracle
+    rng = np.random.default_rng(1)
+    for _ in range(300):
+        a, b = rng.integers(0, topo.num_nodes, size=2)
+        d = oracle.delay_ms(int(a), int(b))
+        assert np.isfinite(d)
+        assert d >= 0.0
+        if a != b:
+            assert d > 0.0

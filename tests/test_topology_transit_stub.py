@@ -1,0 +1,118 @@
+"""Transit-stub generator: structure, delay ranges, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.config import TopologyConfig
+from repro.errors import TopologyError
+from repro.topology.transit_stub import generate_transit_stub
+
+SMALL = TopologyConfig(
+    transit_domains=3,
+    transit_nodes_per_domain=4,
+    stub_domains_per_transit=2,
+    stub_nodes_per_domain=5,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_transit_stub(SMALL)
+
+
+def test_node_counts(topo):
+    assert topo.num_nodes == SMALL.total_nodes
+    assert len(topo.transit_nodes) == 12
+    assert len(topo.stub_nodes) == 120
+    assert len(topo.stub_domains) == 24
+
+
+def test_graph_is_connected(topo):
+    assert topo.graph.is_connected()
+
+
+def test_transit_ids_precede_stub_ids(topo):
+    assert max(topo.transit_nodes) < min(topo.stub_nodes)
+
+
+def test_is_transit_and_domain_lookup(topo):
+    for t in topo.transit_nodes:
+        assert topo.is_transit(t)
+        with pytest.raises(TopologyError):
+            topo.domain_of(t)
+    for domain in topo.stub_domains:
+        for member in domain.nodes:
+            assert not topo.is_transit(member)
+            assert topo.domain_of(member) is domain
+
+
+def test_every_domain_has_one_gateway_edge(topo):
+    for domain in topo.stub_domains:
+        assert domain.gateway in domain.nodes
+        assert topo.graph.has_edge(domain.gateway, domain.transit_node)
+        lo, hi = SMALL.transit_stub_delay_ms
+        assert lo <= domain.access_delay_ms <= hi
+        # the gateway edge is the only edge leaving the domain
+        members = set(domain.nodes)
+        for member in domain.nodes:
+            for neighbor, _ in topo.graph.neighbors(member):
+                if neighbor not in members:
+                    assert member == domain.gateway
+                    assert neighbor == domain.transit_node
+
+
+def test_edge_delay_ranges(topo):
+    num_transit = len(topo.transit_nodes)
+    tt_lo, tt_hi = SMALL.transit_transit_delay_ms
+    ts_lo, ts_hi = SMALL.transit_stub_delay_ms
+    ss_lo, ss_hi = SMALL.stub_stub_delay_ms
+    for u in range(topo.num_nodes):
+        for v, w in topo.graph.neighbors(u):
+            if u < num_transit and v < num_transit:
+                assert tt_lo <= w <= tt_hi
+            elif u >= num_transit and v >= num_transit:
+                assert ss_lo <= w <= ss_hi
+            else:
+                assert ts_lo <= w <= ts_hi
+
+
+def test_stub_domains_internally_connected(topo):
+    # removing the gateway edge must leave each domain internally connected:
+    # check distances computed over intra-domain edges only
+    from repro.topology.graph import Graph
+
+    for domain in topo.stub_domains[:6]:
+        index = {node: i for i, node in enumerate(domain.nodes)}
+        sub = Graph(len(domain.nodes))
+        for node in domain.nodes:
+            for neighbor, w in topo.graph.neighbors(node):
+                j = index.get(neighbor)
+                if j is not None and index[node] < j:
+                    sub.add_edge(index[node], j, w)
+        assert sub.is_connected()
+
+
+def test_deterministic_generation():
+    a = generate_transit_stub(SMALL)
+    b = generate_transit_stub(SMALL)
+    assert a.num_nodes == b.num_nodes
+    assert [d.gateway for d in a.stub_domains] == [d.gateway for d in b.stub_domains]
+    da = a.graph.shortest_paths_from(0)
+    db = b.graph.shortest_paths_from(0)
+    assert np.allclose(da, db)
+
+
+def test_different_seed_changes_wiring():
+    import dataclasses
+
+    other = generate_transit_stub(dataclasses.replace(SMALL, seed=99))
+    base = generate_transit_stub(SMALL)
+    assert [d.gateway for d in base.stub_domains] != [
+        d.gateway for d in other.stub_domains
+    ]
+
+
+def test_paper_scale_counts_without_building():
+    cfg = TopologyConfig()
+    assert cfg.total_nodes == 15600

@@ -1,0 +1,112 @@
+"""Bounded Pareto and lognormal lifetime distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.workload.distributions import BoundedPareto, LogNormalLifetime
+
+PAPER_BP = dict(shape=1.2, lower=0.5, upper=100.0)
+
+
+class TestBoundedPareto:
+    def test_support_bounds(self, rng):
+        dist = BoundedPareto(**PAPER_BP)
+        draws = dist.sample(rng, size=10000)
+        assert draws.min() >= 0.5
+        assert draws.max() <= 100.0
+
+    def test_cdf_endpoints(self):
+        dist = BoundedPareto(**PAPER_BP)
+        assert dist.cdf(0.5) == pytest.approx(0.0)
+        assert dist.cdf(100.0) == pytest.approx(1.0)
+        # values outside the support clamp
+        assert dist.cdf(0.1) == pytest.approx(0.0)
+        assert dist.cdf(500.0) == pytest.approx(1.0)
+
+    def test_paper_free_rider_fraction(self):
+        """~55.5% of members draw below the unit stream rate (Section 5)."""
+        dist = BoundedPareto(**PAPER_BP)
+        assert dist.cdf(1.0) == pytest.approx(0.555, abs=0.015)
+
+    def test_ppf_inverts_cdf(self):
+        dist = BoundedPareto(**PAPER_BP)
+        for u in [0.0, 0.1, 0.5, 0.9, 0.999, 1.0]:
+            assert dist.cdf(dist.ppf(u)) == pytest.approx(u, abs=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(u=st.floats(min_value=0.0, max_value=1.0))
+    def test_ppf_in_support(self, u):
+        dist = BoundedPareto(**PAPER_BP)
+        x = dist.ppf(u)
+        assert 0.5 <= x <= 100.0 + 1e-9
+
+    def test_ppf_rejects_out_of_range(self):
+        with pytest.raises(ConfigError):
+            BoundedPareto(**PAPER_BP).ppf(1.5)
+
+    def test_sample_mean_matches_analytic(self, rng):
+        dist = BoundedPareto(**PAPER_BP)
+        draws = dist.sample(rng, size=200_000)
+        assert draws.mean() == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_mean_alpha_one_special_case(self, rng):
+        dist = BoundedPareto(1.0, 1.0, 10.0)
+        draws = dist.sample(rng, size=200_000)
+        assert draws.mean() == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_scalar_sample(self, rng):
+        value = BoundedPareto(**PAPER_BP).sample(rng)
+        assert isinstance(value, float)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(shape=0.0, lower=1.0, upper=2.0),
+        dict(shape=1.0, lower=0.0, upper=2.0),
+        dict(shape=1.0, lower=3.0, upper=2.0),
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigError):
+            BoundedPareto(**kwargs)
+
+
+class TestLogNormalLifetime:
+    def test_paper_mean(self):
+        dist = LogNormalLifetime(5.5, 2.0)
+        assert dist.mean() == pytest.approx(math.exp(5.5 + 2.0), rel=1e-12)
+        assert dist.median() == pytest.approx(math.exp(5.5))
+
+    def test_cap_enforced(self, rng):
+        dist = LogNormalLifetime(5.5, 2.0, cap=1000.0)
+        draws = dist.sample(rng, size=5000)
+        assert draws.max() <= 1000.0
+
+    def test_sample_median_near_analytic(self, rng):
+        dist = LogNormalLifetime(5.5, 2.0)
+        draws = dist.sample(rng, size=100_000)
+        assert np.median(draws) == pytest.approx(dist.median(), rel=0.05)
+
+    def test_length_biased_is_lognormal_shifted(self, rng):
+        """Length-biased lognormal(mu, s) = lognormal(mu + s^2, s): check
+        the median, which pins the location parameter."""
+        dist = LogNormalLifetime(5.5, 2.0)
+        draws = dist.sample_length_biased(rng, size=100_000)
+        assert np.median(draws) == pytest.approx(math.exp(5.5 + 4.0), rel=0.06)
+
+    def test_length_biased_respects_cap(self, rng):
+        dist = LogNormalLifetime(5.5, 2.0, cap=5000.0)
+        draws = dist.sample_length_biased(rng, size=2000)
+        assert draws.max() <= 5000.0
+
+    def test_scalar_samples(self, rng):
+        dist = LogNormalLifetime(5.5, 2.0, cap=100.0)
+        assert isinstance(dist.sample(rng), float)
+        assert dist.sample_length_biased(rng) <= 100.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            LogNormalLifetime(5.5, 0.0)
+        with pytest.raises(ConfigError):
+            LogNormalLifetime(5.5, 2.0, cap=0.0)

@@ -1,0 +1,134 @@
+"""Churn workload generation: arrivals, stationarity, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.errors import ConfigError
+from repro.simulation.probe import PROBE_MEMBER_ID, make_probe_session
+from repro.workload.generator import generate_workload
+from repro.workload.session import RootSpec, Session
+
+
+def make(population=200, horizon=3000.0, seed=1, prepopulate=True, probe=None):
+    config = WorkloadConfig(target_population=population)
+    rng = np.random.default_rng(seed)
+    return generate_workload(
+        config,
+        horizon_s=horizon,
+        attach_nodes=list(range(100, 200)),
+        rng=rng,
+        probe=probe,
+        prepopulate=prepopulate,
+    )
+
+
+def test_sessions_sorted_by_arrival():
+    wl = make()
+    arrivals = [s.arrival_s for s in wl.sessions]
+    assert arrivals == sorted(arrivals)
+
+
+def test_arrivals_within_horizon():
+    wl = make()
+    assert all(0.0 <= s.arrival_s <= wl.horizon_s for s in wl.sessions)
+
+
+def test_member_ids_unique_and_reserved_root_id():
+    wl = make()
+    ids = [s.member_id for s in wl.sessions]
+    assert len(set(ids)) == len(ids)
+    assert 0 not in ids  # id 0 is the root
+
+
+def test_prepopulation_counts_and_ages():
+    wl = make(population=300)
+    initial = [s for s in wl.sessions if s.arrival_s == 0.0]
+    assert len(initial) == 300
+    assert all(s.initial_age_s >= 0 for s in initial)
+    config = wl.config
+    assert all(s.initial_age_s <= config.max_initial_age_s for s in initial)
+    later = [s for s in wl.sessions if s.arrival_s > 0.0]
+    assert all(s.initial_age_s == 0.0 for s in later)
+
+
+def test_stationary_population_near_target():
+    """With equilibrium prepopulation the population stays near M."""
+    wl = make(population=400, horizon=4000.0, seed=7)
+    for t in [500.0, 2000.0, 3500.0]:
+        pop = wl.population_at(t)
+        assert 0.75 * 400 <= pop <= 1.25 * 400, (t, pop)
+
+
+def test_no_prepopulation_starts_empty():
+    wl = make(prepopulate=False)
+    assert wl.population_at(0.0) == 0
+    assert all(s.initial_age_s == 0.0 for s in wl.sessions)
+
+
+def test_arrival_rate_littles_law():
+    wl = make(population=500, horizon=10000.0, seed=3, prepopulate=False)
+    expected = 500 / wl.config.mean_lifetime_s * 10000.0
+    assert len(wl.sessions) == pytest.approx(expected, rel=0.2)
+
+
+def test_attach_nodes_from_pool():
+    wl = make()
+    pool = set(range(100, 200))
+    assert all(s.underlay_node in pool for s in wl.sessions)
+    assert wl.root.underlay_node in pool
+
+
+def test_probe_spliced_in_order():
+    probe = make_probe_session(arrival_s=1500.0, underlay_node=150)
+    wl = make(probe=probe)
+    probes = [s for s in wl.sessions if s.member_id == PROBE_MEMBER_ID]
+    assert probes == [probe]
+    arrivals = [s.arrival_s for s in wl.sessions]
+    assert arrivals == sorted(arrivals)
+
+
+def test_deterministic_for_same_seed():
+    a, b = make(seed=9), make(seed=9)
+    assert [(s.member_id, s.arrival_s, s.bandwidth) for s in a.sessions] == [
+        (s.member_id, s.arrival_s, s.bandwidth) for s in b.sessions
+    ]
+
+
+def test_different_seed_differs():
+    a, b = make(seed=9), make(seed=10)
+    assert [s.arrival_s for s in a.sessions] != [s.arrival_s for s in b.sessions]
+
+
+def test_rejects_bad_arguments():
+    config = WorkloadConfig()
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigError):
+        generate_workload(config, horizon_s=0.0, attach_nodes=[1], rng=rng)
+    with pytest.raises(ConfigError):
+        generate_workload(config, horizon_s=10.0, attach_nodes=[], rng=rng)
+
+
+class TestSession:
+    def test_departure_and_out_degree(self):
+        s = Session(1, 10.0, 50.0, bandwidth=3.7, underlay_node=5)
+        assert s.departure_s == 60.0
+        assert s.out_degree(1.0) == 3
+        assert s.out_degree(2.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Session(1, -1.0, 10.0, 1.0, 0)
+        with pytest.raises(ConfigError):
+            Session(1, 0.0, 0.0, 1.0, 0)
+        with pytest.raises(ConfigError):
+            Session(1, 0.0, 10.0, -1.0, 0)
+        with pytest.raises(ConfigError):
+            Session(1, 0.0, 10.0, 1.0, 0, initial_age_s=-5.0)
+        # only t=0 members may carry an age
+        with pytest.raises(ConfigError):
+            Session(1, 5.0, 10.0, 1.0, 0, initial_age_s=3.0)
+
+    def test_root_spec(self):
+        root = RootSpec(bandwidth=100.0, underlay_node=3)
+        assert root.out_degree(1.0) == 100

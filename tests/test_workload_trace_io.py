@@ -1,0 +1,93 @@
+"""Trace serialization roundtrips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.errors import ConfigError
+from repro.protocols import PROTOCOLS
+from repro.simulation.churn import ChurnSimulation
+from repro.workload.generator import generate_workload
+from repro.workload.trace_io import (
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+from tests.conftest import small_sim_config
+
+
+@pytest.fixture()
+def workload():
+    return generate_workload(
+        WorkloadConfig(target_population=40),
+        horizon_s=2000.0,
+        attach_nodes=list(range(10, 30)),
+        rng=np.random.default_rng(3),
+    )
+
+
+def test_roundtrip_preserves_everything(workload, tmp_path):
+    path = tmp_path / "trace.json"
+    save_workload(workload, path)
+    loaded = load_workload(path)
+    assert loaded.config == workload.config
+    assert loaded.horizon_s == workload.horizon_s
+    assert loaded.root == workload.root
+    assert loaded.sessions == workload.sessions
+
+
+def test_dict_roundtrip(workload):
+    assert workload_from_dict(workload_to_dict(workload)).sessions == workload.sessions
+
+
+def test_rejects_foreign_format(workload):
+    data = workload_to_dict(workload)
+    data["format"] = "something-else"
+    with pytest.raises(ConfigError):
+        workload_from_dict(data)
+
+
+def test_rejects_future_version(workload):
+    data = workload_to_dict(workload)
+    data["version"] = 999
+    with pytest.raises(ConfigError):
+        workload_from_dict(data)
+
+
+def test_rejects_malformed_sessions(workload):
+    data = workload_to_dict(workload)
+    del data["sessions"][0]["bandwidth"]
+    with pytest.raises(ConfigError):
+        workload_from_dict(data)
+
+
+def test_loaded_trace_replays_identically(tmp_path):
+    """A churn run on a reloaded trace matches the original run exactly."""
+    cfg = small_sim_config(population=50, seed=8)
+    original_sim = ChurnSimulation(cfg, PROTOCOLS["min-depth"])
+    trace_path = tmp_path / "trace.json"
+    save_workload(original_sim.workload, trace_path)
+    original = original_sim.run()
+
+    replay_sim = ChurnSimulation(
+        cfg,
+        PROTOCOLS["min-depth"],
+        topology=original_sim.topology,
+        oracle=original_sim.oracle,
+        workload=load_workload(trace_path),
+    )
+    replay = replay_sim.run()
+    assert replay.metrics.disruption_events == original.metrics.disruption_events
+    assert replay.metrics.node_seconds == pytest.approx(
+        original.metrics.node_seconds
+    )
+
+
+def test_file_is_plain_json(workload, tmp_path):
+    path = tmp_path / "trace.json"
+    save_workload(workload, path)
+    data = json.loads(path.read_text())
+    assert data["format"] == "repro-churn-trace"
