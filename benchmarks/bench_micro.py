@@ -126,3 +126,28 @@ def test_event_queue_throughput(benchmark):
         return counter[0]
 
     assert benchmark(pump) == 5000
+
+
+def test_event_queue_throughput_concurrent(benchmark):
+    """Throughput with a deep heap — the shape real simulations have.
+
+    Thousands of timers pending at once (per-member detection, switching
+    and gossip timers) make heap sift comparisons the dominant cost, which
+    a chain-shaped bench with a near-empty heap never exercises.
+    """
+
+    def pump(timers=1000, total=20000):
+        sim = Simulator()
+        fired = [0]
+
+        def tick(i):
+            fired[0] += 1
+            if fired[0] < total:
+                sim.schedule_in(1.0 + (i % 7) * 0.1, lambda: tick(i))
+
+        for i in range(timers):
+            sim.schedule_in(1.0 + (i % 7) * 0.1, lambda i=i: tick(i))
+        sim.run()
+        return fired[0]
+
+    assert benchmark(pump) == 20000

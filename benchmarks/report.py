@@ -1,0 +1,153 @@
+"""Machine-readable performance baseline emitter.
+
+Runs every registered figure experiment once (caches cleared in between,
+so each number is the figure's true end-to-end cost) plus the kernel
+event-throughput microbenchmarks, and writes one JSON document::
+
+    PYTHONPATH=src python benchmarks/report.py --scale 0.1 --out BENCH_PR1.json
+
+The checked-in ``BENCH_*.json`` files form the perf-regression trajectory
+future PRs are judged against: a PR claiming a hot-path win should show
+it here, and a PR must not silently regress the recorded numbers.
+
+Schema (v1)::
+
+    {
+      "meta":    {... machine/run description ...},
+      "kernel":  {"chain_events_per_sec": float,
+                  "concurrent_events_per_sec": float},
+      "figures": {"fig04": {"wall_s": float}, ...},
+      "total_figures_wall_s": float
+    }
+
+The *chain* kernel shape keeps a single pending timer (pure
+schedule/pop overhead); the *concurrent* shape holds thousands of
+pending timers, which is what real runs look like (every member has
+detection/switch/gossip timers in flight) and is where heap-comparison
+cost dominates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+SCHEMA_VERSION = 1
+
+
+def bench_kernel_chain(total: int = 200_000) -> float:
+    """Events/sec with one pending timer (schedule/pop ping-pong)."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    counter = [0]
+
+    def tick():
+        counter[0] += 1
+        if counter[0] < total:
+            sim.schedule_in(1.0, tick)
+
+    sim.schedule_in(1.0, tick)
+    started = time.perf_counter()
+    sim.run()
+    return total / (time.perf_counter() - started)
+
+
+def bench_kernel_concurrent(timers: int = 2_000, total: int = 200_000) -> float:
+    """Events/sec with ``timers`` concurrent periodic timers in the heap."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    fired = [0]
+
+    def tick(i: int):
+        fired[0] += 1
+        if fired[0] < total:
+            sim.schedule_in(1.0 + (i % 7) * 0.1, lambda: tick(i))
+
+    for i in range(timers):
+        sim.schedule_in(1.0 + (i % 7) * 0.1, lambda i=i: tick(i))
+    started = time.perf_counter()
+    sim.run()
+    return total / (time.perf_counter() - started)
+
+
+def bench_figures(scale: float, seed: int) -> Dict[str, Dict[str, float]]:
+    from repro.experiments import common, list_experiments
+
+    figures: Dict[str, Dict[str, float]] = {}
+    for experiment in list_experiments():
+        common.clear_caches()
+        started = time.perf_counter()
+        experiment.run(scale=scale, seed=seed)
+        wall = time.perf_counter() - started
+        figures[experiment.experiment_id] = {"wall_s": round(wall, 3)}
+        print(f"  {experiment.experiment_id:16s} {wall:8.2f}s", flush=True)
+    common.clear_caches()
+    return figures
+
+
+def best_of(func, repeats: int = 3) -> float:
+    return max(func() for _ in range(repeats))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=str, default="BENCH_PR1.json")
+    parser.add_argument(
+        "--skip-figures",
+        action="store_true",
+        help="only run the kernel microbenchmarks (fast smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    print("kernel microbenchmarks ...", flush=True)
+    chain = best_of(bench_kernel_chain)
+    concurrent = best_of(bench_kernel_concurrent)
+    print(f"  chain       {chain:12.0f} events/s")
+    print(f"  concurrent  {concurrent:12.0f} events/s", flush=True)
+
+    figures: Dict[str, Dict[str, float]] = {}
+    if not args.skip_figures:
+        print(f"figure suite at --scale {args.scale} ...", flush=True)
+        figures = bench_figures(args.scale, args.seed)
+
+    report = {
+        "meta": {
+            "schema_version": SCHEMA_VERSION,
+            "generated_unix": int(time.time()),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "scale": args.scale,
+            "seed": args.seed,
+        },
+        "kernel": {
+            "chain_events_per_sec": round(chain),
+            "concurrent_events_per_sec": round(concurrent),
+        },
+        "figures": figures,
+        "total_figures_wall_s": round(
+            sum(f["wall_s"] for f in figures.values()), 3
+        ),
+    }
+    tmp_path = args.out + ".tmp"
+    with open(tmp_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    os.replace(tmp_path, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

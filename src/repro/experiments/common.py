@@ -20,8 +20,7 @@ from ..sim.rng import RngRegistry
 from ..simulation.churn import ChurnRunResult, ChurnSimulation
 from ..simulation.probe import make_probe_session
 from ..simulation.streaming import RecoveryRunResult, RecoverySimulation
-from ..topology.routing import DelayOracle
-from ..topology.transit_stub import generate_transit_stub
+from ..topology.cache import clear_default_cache, default_cache
 from ..workload.generator import generate_workload
 from ..workload.session import Session
 
@@ -38,15 +37,19 @@ PROTOCOL_ORDER: Tuple[str, ...] = (
 #: The network the single-size figures (5, 6, 9, 11, 13, 14) use.
 DEFAULT_SINGLE_SIZE = 8000
 
-_topology_cache: Dict[tuple, tuple] = {}
 _workload_cache: Dict[tuple, object] = {}
 _churn_cache: Dict[tuple, ChurnRunResult] = {}
 _recovery_cache: Dict[tuple, RecoveryRunResult] = {}
 
 
 def clear_caches() -> None:
-    """Drop all cached runs (tests use this to force fresh sweeps)."""
-    _topology_cache.clear()
+    """Drop all cached runs (tests use this to force fresh sweeps).
+
+    Clears the in-memory tiers only; an on-disk topology cache configured
+    via ``REPRO_CACHE_DIR`` survives (its entries are content-addressed,
+    so staleness is not a concern).
+    """
+    clear_default_cache()
     _workload_cache.clear()
     _churn_cache.clear()
     _recovery_cache.clear()
@@ -71,14 +74,13 @@ class SweepSettings:
 
 
 def shared_topology(config: SimulationConfig):
-    """Topology + oracle cached by the generating parameters."""
-    key = (config.topology,)
-    cached = _topology_cache.get(key)
-    if cached is None:
-        topology = generate_transit_stub(config.topology)
-        cached = (topology, DelayOracle(topology))
-        _topology_cache[key] = cached
-    return cached
+    """Topology + oracle via the two-tier content-keyed cache.
+
+    Repeat calls in one process hit the memory LRU; with ``REPRO_CACHE_DIR``
+    set, pool workers and repeat CLI invocations additionally share the
+    precomputed matrices through the disk tier.
+    """
+    return default_cache().get(config.topology)
 
 
 def shared_workload(

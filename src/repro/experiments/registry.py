@@ -65,3 +65,16 @@ def get_experiment(experiment_id: str) -> Experiment:
 
 def list_experiments() -> List[Experiment]:
     return [REGISTRY[k] for k in sorted(REGISTRY)]
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Resolve ``experiment_id`` and run it.
+
+    This is the module-level, picklable entry point worker processes use
+    (:mod:`repro.experiments.pool`): a bound ``Experiment.run`` closure
+    cannot cross a process boundary, but ``(id, kwargs)`` can.  Importing
+    the package populates the registry under spawn-based executors too.
+    """
+    from . import get_experiment as _get  # noqa: F401  (registers experiments)
+
+    return get_experiment(experiment_id).run(**kwargs)

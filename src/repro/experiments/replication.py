@@ -17,6 +17,7 @@ import numpy as np
 
 from ..metrics.report import render_table
 from ..metrics.stats import mean_and_ci
+from .pool import ExperimentJob, run_jobs
 from .registry import ExperimentResult, get_experiment
 
 
@@ -60,15 +61,35 @@ def replicate(
     experiment_id: str,
     seeds: Sequence[int],
     scale: float = 1.0,
+    jobs: int = 1,
     **kwargs,
 ) -> ReplicatedResult:
-    """Run ``experiment_id`` once per seed and merge the series."""
+    """Run ``experiment_id`` once per seed and merge the series.
+
+    ``jobs > 1`` fans the per-seed runs out over a worker-process pool
+    (:mod:`repro.experiments.pool`); the merge is order-preserving, so the
+    result is byte-identical to a serial run.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    experiment = get_experiment(experiment_id)
-    replicas = [
-        experiment.run(scale=scale, seed=int(seed), **kwargs) for seed in seeds
-    ]
+    get_experiment(experiment_id)  # fail fast on unknown ids
+    replicas = run_jobs(
+        [
+            ExperimentJob.make(experiment_id, scale=scale, seed=int(seed), **kwargs)
+            for seed in seeds
+        ],
+        parallel_jobs=jobs,
+    )
+    return merge_replicas(experiment_id, seeds, replicas)
+
+
+def merge_replicas(
+    experiment_id: str,
+    seeds: Sequence[int],
+    replicas: Sequence[ExperimentResult],
+) -> ReplicatedResult:
+    """Merge per-seed results (ordered like ``seeds``) into mean ± CI."""
+    replicas = list(replicas)
     shape = _mergeable_series(replicas)
     if shape is None or len(replicas) < 2:
         return ReplicatedResult(

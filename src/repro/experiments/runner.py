@@ -5,16 +5,26 @@ Examples::
     python -m repro.experiments list
     python -m repro.experiments run fig04 --scale 0.1 --seed 7
     python -m repro.experiments all --scale 0.05 --out results.txt
+    python -m repro.experiments all --scale 0.1 --replicas 4 --jobs 8
+
+``--jobs N`` fans independent (experiment × seed) simulations out over N
+worker processes (default: one per CPU); results are merged in
+deterministic order, so the emitted tables are byte-identical to a
+``--jobs 1`` run.  Output files (``--out``, ``--json``) are written
+atomically — a crashed or killed run never leaves a truncated file.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 import time
 from typing import List, Optional
 
+from .pool import ExperimentJob, resolve_jobs, run_jobs
 from .registry import get_experiment, list_experiments
 
 
@@ -52,6 +62,20 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         "report mean +/- 95%% CI where the series are mergeable",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for independent (experiment x seed) runs "
+        "(default: $REPRO_JOBS or the CPU count; 1 = fully in-process)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock limit in seconds when running with worker "
+        "processes; a timed-out job is retried once in-process",
+    )
+    parser.add_argument(
         "--out", type=str, default=None, help="also append tables to this file"
     )
     parser.add_argument(
@@ -65,49 +89,114 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _atomic_write(path: str, content: str) -> None:
+    """Write ``content`` to ``path`` via a temp file + rename.
+
+    Readers either see the previous complete version or the new complete
+    version — never a truncated file, even if the process dies mid-write.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".repro-out-")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(content)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+
+
+class _Emitter:
+    """Prints to stdout and mirrors the text into ``out_path`` atomically.
+
+    Append semantics are preserved (an existing file's content is kept as
+    the prefix), but every flush rewrites the whole file through a
+    temp-file + rename, so a crashed run cannot leave a truncated table.
+    """
+
+    def __init__(self, out_path: Optional[str]):
+        self._path = out_path
+        self._content = ""
+        if out_path and os.path.exists(out_path):
+            with open(out_path) as handle:
+                self._content = handle.read()
+
+    def emit(self, text: str) -> None:
+        print(text)
+        if self._path:
+            self._content += text + "\n"
+            _atomic_write(self._path, self._content)
+
+
 def _emit(text: str, out_path: Optional[str]) -> None:
-    print(text)
-    if out_path:
-        with open(out_path, "a") as handle:
-            handle.write(text + "\n")
+    """One-shot emit kept for backward compatibility (tests, scripts)."""
+    _Emitter(out_path).emit(text)
+
+
+def _iter_results(batch: List[ExperimentJob], jobs: int, timeout_s):
+    """Yield results in submission order.
+
+    With ``jobs == 1`` this lazily executes each job right before yielding
+    it, so a long serial run emits tables progressively (and pdb/coverage
+    see plain in-process calls); with ``jobs > 1`` the whole batch is
+    fanned out first and the completed results replayed in order.
+    """
+    if jobs == 1:
+        for job in batch:
+            yield run_jobs([job], parallel_jobs=1)[0]
+    else:
+        yield from run_jobs(batch, parallel_jobs=jobs, timeout_s=timeout_s)
 
 
 def _run_ids(ids: List[str], args) -> int:
+    jobs = resolve_jobs(args.jobs)
+    emitter = _Emitter(args.out)
     json_data = {}
-    for experiment_id in ids:
-        started = time.time()
-        if args.replicas > 1:
-            from .replication import replicate
+    segment_started = time.time()
+    if args.replicas > 1:
+        from .replication import merge_replicas
 
-            replicated = replicate(
-                experiment_id,
-                seeds=range(args.seed, args.seed + args.replicas),
-                scale=args.scale,
-            )
-            _emit(str(replicated), args.out)
+        seeds = list(range(args.seed, args.seed + args.replicas))
+        batch = [
+            ExperimentJob.make(experiment_id, scale=args.scale, seed=seed)
+            for experiment_id in ids
+            for seed in seeds
+        ]
+        results = _iter_results(batch, jobs, args.job_timeout)
+        for experiment_id in ids:
+            replicas = [next(results) for _ in seeds]
+            replicated = merge_replicas(experiment_id, seeds, replicas)
+            emitter.emit(str(replicated))
             json_data[experiment_id] = {
                 "seeds": replicated.seeds,
                 "summary": replicated.summary,
                 "replicas": [r.data for r in replicated.replicas],
             }
-        else:
-            experiment = get_experiment(experiment_id)
-            result = experiment.run(scale=args.scale, seed=args.seed)
-            _emit(result.table, args.out)
+            elapsed = time.time() - segment_started
+            segment_started = time.time()
+            emitter.emit(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+    else:
+        batch = [
+            ExperimentJob.make(experiment_id, scale=args.scale, seed=args.seed)
+            for experiment_id in ids
+        ]
+        results = _iter_results(batch, jobs, args.job_timeout)
+        for experiment_id, result in zip(ids, results):
+            emitter.emit(result.table)
             json_data[experiment_id] = result.data
             if args.svg:
                 _write_svg(result, args.svg)
-        elapsed = time.time() - started
-        _emit(f"[{experiment_id} finished in {elapsed:.1f}s]\n", args.out)
+            elapsed = time.time() - segment_started
+            segment_started = time.time()
+            emitter.emit(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
     if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(json_data, handle, indent=2, default=str)
+        _atomic_write(
+            args.json, json.dumps(json_data, indent=2, default=str)
+        )
     return 0
 
 
 def _write_svg(result, directory: str) -> None:
-    import os
-
     from ..metrics.svgplot import experiment_chart
 
     try:
@@ -130,6 +219,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         return 0
     if args.command == "run":
+        get_experiment(args.experiment_id)  # fail fast on unknown ids
         return _run_ids([args.experiment_id], args)
     return _run_ids([e.experiment_id for e in list_experiments()], args)
 

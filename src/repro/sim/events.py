@@ -5,19 +5,25 @@ increasing sequence number makes ordering total and deterministic: two
 events scheduled for the same instant at the same priority fire in the
 order they were scheduled, which keeps every simulation run exactly
 reproducible for a given seed.
+
+The heap itself stores plain ``(time, priority, seq, event)`` tuples, so
+sift operations compare small tuples of floats/ints in C instead of
+dispatching to rich-comparison methods on :class:`Event` instances; the
+``seq`` component is unique, so the trailing ``event`` element is never
+compared.  :class:`Event` uses ``__slots__`` to keep instances small and
+attribute access off the instance-dict path — together these are the
+kernel's single hottest allocation and comparison site.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import SimulationError
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
@@ -25,13 +31,63 @@ class Event:
     holds one only to :meth:`cancel` it.
     """
 
-    time: float
-    priority: int
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
+    __slots__ = ("time", "priority", "seq", "action", "label", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        action: Callable[[], None],
+        label: str = "",
+        cancelled: bool = False,
+        _queue: Optional["EventQueue"] = None,
+    ):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = cancelled
+        self._queue = _queue
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, priority={self.priority!r}, "
+            f"seq={self.seq!r}, label={self.label!r}, "
+            f"cancelled={self.cancelled!r})"
+        )
+
+    def _key(self):
+        return (self.time, self.priority, self.seq)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __le__(self, other) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() <= other._key()
+
+    def __gt__(self, other) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() > other._key()
+
+    def __ge__(self, other) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() >= other._key()
+
+    def __hash__(self) -> int:
+        return hash((Event, self.seq))
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when it reaches the queue head.
@@ -49,7 +105,7 @@ class EventQueue:
     """A deterministic priority queue of :class:`Event` objects."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list = []
         self._seq = itertools.count()
         self._live = 0
 
@@ -70,8 +126,9 @@ class EventQueue:
         """Insert ``action`` to fire at ``time``; returns a cancellable handle."""
         if time != time:  # NaN guard
             raise SimulationError("cannot schedule an event at time NaN")
-        event = Event(time, priority, next(self._seq), action, label, False, self)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time, priority, seq, action, label, False, self)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
@@ -80,24 +137,28 @@ class EventQueue:
         self._drop_cancelled_head()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def pop(self) -> Event:
         """Remove and return the next live event."""
         self._drop_cancelled_head()
         if not self._heap:
             raise SimulationError("pop from an empty event queue")
-        event = heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)[3]
         self._live -= 1
+        # The event has left the queue: cancelling its handle later (e.g. a
+        # timer disarmed after firing) must not touch the live count.
+        event._queue = None
         return event
 
     def _drop_cancelled_head(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
 
     def clear(self) -> None:
         """Discard every pending event."""
-        for event in self._heap:
-            event.cancelled = True
+        for entry in self._heap:
+            entry[3].cancelled = True
         self._heap.clear()
         self._live = 0

@@ -63,6 +63,14 @@ class PeriodicProcess:
     An optional ``jitter`` callable returning a per-round offset decorrelates
     the phase of many concurrent processes (e.g. per-node switching loops),
     mirroring how real deployments avoid synchronized rounds.
+
+    Round ``k`` fires at ``epoch + k * interval (+ jitter)``, computed
+    multiplicatively from the anchor set at :meth:`start` — **not** by
+    accumulating ``now + interval`` — so long-horizon processes stay
+    phase-exact: a million rounds of a non-representable interval (say
+    0.1 s) accumulate no floating-point drift, and jitter perturbs each
+    round around the nominal grid instead of permanently shifting the
+    phase.
     """
 
     def __init__(
@@ -80,6 +88,8 @@ class PeriodicProcess:
         self._jitter = jitter
         self._event: Optional[Event] = None
         self._stopped = True
+        self._epoch = 0.0
+        self._round = 0
 
     @property
     def running(self) -> bool:
@@ -92,8 +102,11 @@ class PeriodicProcess:
             raise SimulationError("periodic process already running")
         self._stopped = False
         delay = self.interval if initial_delay is None else initial_delay
-        delay += self._draw_jitter()
-        self._event = self._sim.schedule_in(max(0.0, delay), self._tick)
+        # The anchor excludes jitter: every later round is placed on the
+        # epoch + k*interval grid, with jitter a per-round perturbation.
+        self._epoch = self._sim.now + delay
+        self._round = 0
+        self._schedule_round()
 
     def stop(self) -> None:
         """Stop firing; safe to call multiple times or from the action."""
@@ -105,11 +118,15 @@ class PeriodicProcess:
     def _draw_jitter(self) -> float:
         return self._jitter() if self._jitter is not None else 0.0
 
+    def _schedule_round(self) -> None:
+        target = self._epoch + self._round * self.interval + self._draw_jitter()
+        self._event = self._sim.schedule_at(max(self._sim.now, target), self._tick)
+
     def _tick(self) -> None:
         if self._stopped:
             return
         self._action()
         if self._stopped:  # the action may have stopped us
             return
-        delay = max(0.0, self.interval + self._draw_jitter())
-        self._event = self._sim.schedule_in(delay, self._tick)
+        self._round += 1
+        self._schedule_round()

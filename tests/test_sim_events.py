@@ -96,3 +96,100 @@ def test_labels_are_kept():
     q = EventQueue()
     e = q.schedule(1.0, lambda: None, label="rejoin")
     assert e.label == "rejoin"
+
+
+# -- _live bookkeeping audit ---------------------------------------------------
+#
+# ``len(q)``/``bool(q)`` are backed by a counter maintained across lazy
+# cancellation; these regressions lock the counter against every sequence
+# that has historically corrupted such designs.
+
+
+def test_double_cancel_does_not_corrupt_len():
+    q = EventQueue()
+    e1 = q.schedule(1.0, lambda: None)
+    e2 = q.schedule(2.0, lambda: None)
+    e3 = q.schedule(3.0, lambda: None)
+    e2.cancel()
+    e2.cancel()
+    e2.cancel()
+    assert len(q) == 2
+    e1.cancel()
+    e1.cancel()
+    assert len(q) == 1
+    assert q.pop() is e3
+    assert len(q) == 0 and not q
+
+
+def test_cancel_then_pop_sequence():
+    q = EventQueue()
+    events = [q.schedule(float(i), lambda: None) for i in range(6)]
+    events[0].cancel()  # cancelled head
+    events[3].cancel()  # cancelled middle
+    popped = []
+    while q:
+        popped.append(q.pop())
+    assert popped == [events[1], events[2], events[4], events[5]]
+    assert len(q) == 0
+
+
+def test_cancel_after_pop_is_harmless():
+    q = EventQueue()
+    e1 = q.schedule(1.0, lambda: None)
+    q.schedule(2.0, lambda: None)
+    popped = q.pop()
+    assert popped is e1
+    assert len(q) == 1
+    # a popped event is no longer the queue's concern; cancelling its
+    # handle must not decrement the live count of the remaining events
+    popped.cancel()
+    assert len(q) == 1
+    assert bool(q)
+    q.pop()
+    assert len(q) == 0
+
+
+def test_len_consistency_under_mixed_schedule_cancel():
+    q = EventQueue()
+    live = []
+    expected = 0
+    for round_no in range(10):
+        batch = [q.schedule(float(round_no), lambda: None) for _ in range(5)]
+        live.extend(batch)
+        expected += 5
+        # cancel every other event of this batch, one of them twice
+        for event in batch[::2]:
+            event.cancel()
+            expected -= 1
+        batch[0].cancel()
+        assert len(q) == expected
+        assert bool(q) == (expected > 0)
+    drained = 0
+    while q:
+        q.pop()
+        drained += 1
+    assert drained == expected
+    assert len(q) == 0 and not q
+
+
+def test_clear_then_cancel_handles_is_safe():
+    q = EventQueue()
+    events = [q.schedule(float(i), lambda: None) for i in range(4)]
+    q.clear()
+    for event in events:
+        event.cancel()  # must not drive the counter negative
+    assert len(q) == 0 and not q
+    e = q.schedule(1.0, lambda: None)
+    assert len(q) == 1
+    assert q.pop() is e
+
+
+def test_pop_all_cancelled_raises_with_zero_len():
+    from repro.errors import SimulationError as SE
+
+    q = EventQueue()
+    for event in [q.schedule(float(i), lambda: None) for i in range(3)]:
+        event.cancel()
+    assert len(q) == 0 and not q
+    with pytest.raises(SE):
+        q.pop()
