@@ -56,9 +56,9 @@ def main() -> None:
 
         cheat_disruptions = [0]
 
-        def observer(now, failed, in_window, sink=cheat_disruptions):
-            if in_window and failed.member_id in cheater_ids:
-                sink[0] += len(failed.descendants())
+        def observer(event, sink=cheat_disruptions):
+            if event.in_window and event.failed.member_id in cheater_ids:
+                sink[0] += event.subtree_size - 1
 
         sim.disruption_observer = observer
         result = sim.run()

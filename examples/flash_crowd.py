@@ -4,9 +4,12 @@
 The paper's motivating scenario is large-scale live media streaming —
 think a match kickoff: a large fraction of the audience joins within the
 first minutes, stays for heterogeneous (heavy-tailed) periods and leaves
-without notice.  This example builds such a workload explicitly (a
-Gaussian arrival burst on top of the Poisson baseline) and compares how
-the minimum-depth tree and ROST hold up for the viewers.
+without notice.  This example injects such a burst with the
+:class:`repro.faults.FlashCrowd` primitive (a Gaussian arrival surge on
+top of the Poisson baseline) and compares how the minimum-depth tree and
+ROST hold up for the viewers.  Because every fault draws from a
+generator keyed by ``(schedule seed, fault index)``, both protocols see
+the *identical* crowd — same arrival times, bandwidths and lifetimes.
 
 Usage::
 
@@ -14,9 +17,6 @@ Usage::
 """
 
 import argparse
-import dataclasses
-
-import numpy as np
 
 from repro import (
     ChurnSimulation,
@@ -24,39 +24,9 @@ from repro import (
     RostProtocol,
     paper_config,
 )
+from repro.faults import FaultInjector, FaultSchedule, FlashCrowd
 from repro.sim.rng import RngRegistry
-from repro.workload.distributions import BoundedPareto, LogNormalLifetime
-from repro.workload.generator import ChurnWorkload, generate_workload
-from repro.workload.session import Session
-
-
-def add_flash_crowd(workload: ChurnWorkload, burst_size: int, burst_at_s: float,
-                    burst_spread_s: float, seed: int) -> ChurnWorkload:
-    """Splice a burst of ``burst_size`` arrivals around ``burst_at_s``."""
-    rng = np.random.default_rng(seed)
-    config = workload.config
-    bandwidth = BoundedPareto(
-        config.pareto_shape, config.pareto_lower, config.pareto_upper
-    )
-    lifetimes = LogNormalLifetime(
-        config.lifetime_location, config.lifetime_shape, cap=config.lifetime_cap_s
-    )
-    base_id = max(s.member_id for s in workload.sessions) + 1
-    nodes = [s.underlay_node for s in workload.sessions]
-    sessions = list(workload.sessions)
-    for i in range(burst_size):
-        arrival = max(0.0, rng.normal(burst_at_s, burst_spread_s))
-        sessions.append(
-            Session(
-                member_id=base_id + i,
-                arrival_s=float(arrival),
-                lifetime_s=float(lifetimes.sample(rng)),
-                bandwidth=float(bandwidth.sample(rng)),
-                underlay_node=int(rng.choice(nodes)),
-            )
-        )
-    sessions.sort(key=lambda s: s.arrival_s)
-    return dataclasses.replace(workload, sessions=sessions)
+from repro.workload.generator import generate_workload
 
 
 def main() -> None:
@@ -69,7 +39,8 @@ def main() -> None:
     config = paper_config(population=4000, seed=args.seed, scale=scale)
     burst_size = config.workload.target_population  # the audience doubles
 
-    # Build one workload (including the burst) shared by both protocols.
+    # Build one baseline workload shared by both protocols; the burst is
+    # injected, not spliced into the workload.
     template = ChurnSimulation(config, MinimumDepthProtocol)
     workload = generate_workload(
         config.workload,
@@ -77,12 +48,11 @@ def main() -> None:
         attach_nodes=template.topology.stub_nodes,
         rng=RngRegistry(config.seed).stream("workload"),
     )
-    workload = add_flash_crowd(
-        workload,
-        burst_size=burst_size,
-        burst_at_s=config.warmup_s,
-        burst_spread_s=120.0,
+    schedule = FaultSchedule(
         seed=args.seed,
+        faults=(
+            FlashCrowd(at_s=config.warmup_s, size=burst_size, spread_s=120.0),
+        ),
     )
     print(
         f"steady audience ~{config.workload.target_population}, "
@@ -97,6 +67,7 @@ def main() -> None:
             oracle=template.oracle,
             workload=workload,
         )
+        FaultInjector(schedule).bind(sim)
         result = sim.run()
         m = result.metrics
         print(

@@ -38,3 +38,7 @@ class RecoveryError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine detected an inconsistency (e.g. time travel)."""
+
+
+class FaultError(ReproError):
+    """A fault-injection primitive, schedule or campaign spec is invalid."""

@@ -30,6 +30,7 @@ from . import (  # noqa: F401  (import-for-side-effect)
     fig12_group_size,
     fig13_buffer,
     fig14_rost_cer,
+    faults_campaign,
     messages,
     multitree_ext,
     rescue_ext,

@@ -43,6 +43,30 @@ def _build_parser() -> argparse.ArgumentParser:
 
     everything = sub.add_parser("all", help="run every experiment")
     _add_run_arguments(everything)
+
+    faults = sub.add_parser(
+        "faults_campaign",
+        help="run a fault-injection campaign (see docs/faults.md)",
+    )
+    faults.add_argument(
+        "--spec",
+        type=str,
+        default=None,
+        help="campaign spec file (.json or .toml) or inline JSON object "
+        "(default: the built-in stub-outage example campaign)",
+    )
+    faults.add_argument("--scale", type=float, default=1.0)
+    faults.add_argument("--seed", type=int, default=42)
+    faults.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the (scenario x protocol x seed) grid; "
+        "reports are byte-identical at any value",
+    )
+    faults.add_argument("--job-timeout", type=float, default=None)
+    faults.add_argument("--out", type=str, default=None)
+    faults.add_argument("--json", type=str, default=None)
     return parser
 
 
@@ -218,10 +242,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{experiment.title}"
             )
         return 0
+    if args.command == "faults_campaign":
+        return _run_faults_campaign(args)
     if args.command == "run":
         get_experiment(args.experiment_id)  # fail fast on unknown ids
         return _run_ids([args.experiment_id], args)
     return _run_ids([e.experiment_id for e in list_experiments()], args)
+
+
+def _run_faults_campaign(args) -> int:
+    from ..faults.campaign import resolve_campaign, run_campaign
+
+    campaign = resolve_campaign(args.spec)
+    report = run_campaign(
+        campaign,
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        timeout_s=args.job_timeout,
+    )
+    _Emitter(args.out).emit(report.table)
+    if args.json:
+        _atomic_write(args.json, json.dumps(report.data, indent=2, default=str))
+    return 0
 
 
 if __name__ == "__main__":

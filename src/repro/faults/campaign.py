@@ -1,0 +1,449 @@
+"""Fault-injection campaigns: (scenario x protocol x seed) fan-out.
+
+A campaign spec names a set of *scenarios* (fault lists), the protocols
+to subject to them, and the seeds to replicate over.  The runner fans the
+cross product out through :mod:`repro.experiments.pool` worker processes
+and merges the per-run resilience metrics into one report:
+
+* MTTR (mean time to repair) split by cause — injected vs churn;
+* per-member disruption counts and delivered-data ratio;
+* CER repair success rate under correlated loss (e.g. a stub-domain
+  outage) vs the independent-loss baseline scenario, for the plain,
+  single-source and domain-aware recovery schemes.
+
+Results are merged in submission order and every random draw is keyed by
+the run seed, so the report is byte-identical for a given seed at any
+``--jobs`` value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import paper_config
+from ..errors import FaultError
+from ..metrics.collectors import ResilienceMetrics
+from ..metrics.report import render_table
+from ..recovery.schemes import cer_scheme, single_source_scheme
+from ..simulation.streaming import RecoverySimulation
+from .injector import FaultInjector
+from .model import Fault, fault_from_spec
+from .schedule import FaultSchedule, _load_spec_file
+
+#: Version of the JSON report layout (asserted by CI's smoke job).
+REPORT_SCHEMA_VERSION = 1
+
+#: The built-in example campaign: correlated stub-domain loss and plain
+#: node crashes against an undisturbed baseline.  Checked-in mirror:
+#: ``examples/campaigns/stub_outage.json``.
+DEFAULT_CAMPAIGN_SPEC: dict = {
+    "name": "stub-outage-vs-independent",
+    "description": (
+        "CER repair success and MTTR under a correlated stub-domain "
+        "outage vs independent node crashes vs no faults"
+    ),
+    "population": 600,
+    "warmup_lifetimes": 0.5,
+    "measure_lifetimes": 1.0,
+    "protocols": ["rost"],
+    "group_size": 3,
+    "buffer_s": 5.0,
+    "domain_aware": True,
+    "scenarios": [
+        {"name": "baseline", "faults": []},
+        {
+            "name": "node-crashes",
+            "faults": [{"kind": "node-crash", "count": 12, "at_frac": 0.55}],
+        },
+        {
+            "name": "stub-outage",
+            "faults": [
+                {"kind": "stub-domain-outage", "domains": 2, "at_frac": 0.55}
+            ],
+        },
+    ],
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named fault list within a campaign."""
+
+    name: str
+    faults: Tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FaultError("scenario name must be non-empty")
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def to_spec(self) -> dict:
+        return {"name": self.name, "faults": [f.to_spec() for f in self.faults]}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "ScenarioSpec":
+        if not isinstance(spec, dict):
+            raise FaultError(
+                f"scenario spec must be a mapping, got {type(spec).__name__}"
+            )
+        unknown = sorted(set(spec) - {"name", "faults"})
+        if unknown:
+            raise FaultError(f"unknown scenario spec keys {unknown}")
+        return cls(
+            name=spec.get("name", ""),
+            faults=tuple(fault_from_spec(f) for f in spec.get("faults", [])),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A full campaign: scenarios x protocols x seeds plus run shaping."""
+
+    name: str
+    description: str = ""
+    population: int = 600
+    warmup_lifetimes: float = 0.5
+    measure_lifetimes: float = 1.0
+    protocols: Tuple[str, ...] = ("rost",)
+    #: Replication seeds; empty means "derive from the CLI --seed".
+    seeds: Tuple[int, ...] = ()
+    group_size: int = 3
+    buffer_s: float = 5.0
+    #: Root fan-out override.  ``None`` keeps the paper's 100-slot root;
+    #: small smoke campaigns set a low value so trees have depth (and
+    #: recovery episodes) even with a dozen members.
+    root_bandwidth: Optional[float] = None
+    #: Also evaluate the domain-aware CER variant (distinct stub domains
+    #: preferred in MLC selection).
+    domain_aware: bool = True
+    scenarios: Tuple[ScenarioSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FaultError("campaign name must be non-empty")
+        if self.population < 1:
+            raise FaultError(f"population must be >= 1, got {self.population}")
+        if self.root_bandwidth is not None and self.root_bandwidth < 1:
+            raise FaultError(
+                f"root_bandwidth must be >= 1, got {self.root_bandwidth}"
+            )
+        if not self.protocols:
+            raise FaultError("campaign needs at least one protocol")
+        if not self.scenarios:
+            raise FaultError("campaign needs at least one scenario")
+        names = [s.name for s in self.scenarios]
+        if len(set(names)) != len(names):
+            raise FaultError(f"duplicate scenario names: {names}")
+        for seed in self.seeds:
+            if seed < 0:
+                raise FaultError(f"seeds must be >= 0, got {seed}")
+        object.__setattr__(self, "protocols", tuple(self.protocols))
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+
+    def scenario(self, name: str) -> ScenarioSpec:
+        for scenario in self.scenarios:
+            if scenario.name == name:
+                return scenario
+        raise FaultError(
+            f"unknown scenario {name!r}; known: {[s.name for s in self.scenarios]}"
+        )
+
+    def scheme_list(self):
+        """The recovery schemes every run of this campaign evaluates."""
+        schemes = [
+            cer_scheme(self.group_size, self.buffer_s),
+            single_source_scheme(self.group_size, self.buffer_s),
+        ]
+        if self.domain_aware:
+            schemes.append(
+                cer_scheme(self.group_size, self.buffer_s, domain_aware=True)
+            )
+        return schemes
+
+    # -- spec round-trip ---------------------------------------------------------
+
+    def to_spec(self) -> dict:
+        spec: dict = {"name": self.name}
+        for f in dataclasses.fields(self):
+            if f.name in ("name", "scenarios"):
+                continue
+            value = getattr(self, f.name)
+            if value == f.default:
+                continue
+            spec[f.name] = list(value) if isinstance(value, tuple) else value
+        spec["scenarios"] = [s.to_spec() for s in self.scenarios]
+        return spec
+
+    def canonical_json(self) -> str:
+        """A canonical string form (hashable, picklable job parameter)."""
+        return json.dumps(self.to_spec(), sort_keys=True)
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "CampaignSpec":
+        if not isinstance(spec, dict):
+            raise FaultError(
+                f"campaign spec must be a mapping, got {type(spec).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(spec) - known)
+        if unknown:
+            raise FaultError(
+                f"unknown campaign spec keys {unknown}; known: {sorted(known)}"
+            )
+        kwargs = dict(spec)
+        kwargs["scenarios"] = tuple(
+            ScenarioSpec.from_spec(s) for s in kwargs.get("scenarios", [])
+        )
+        for name in ("protocols", "seeds"):
+            if name in kwargs:
+                kwargs[name] = tuple(kwargs[name])
+        return cls(**kwargs)
+
+
+def load_campaign(path: str) -> CampaignSpec:
+    """Load a campaign spec from a ``.json`` or ``.toml`` file."""
+    return CampaignSpec.from_spec(_load_spec_file(path))
+
+
+def resolve_campaign(spec) -> CampaignSpec:
+    """Coerce any accepted spec form into a :class:`CampaignSpec`.
+
+    ``None`` -> the built-in default; a dict -> parsed spec; a string ->
+    inline JSON (when it looks like an object) or a spec file path.
+    """
+    if spec is None:
+        return CampaignSpec.from_spec(DEFAULT_CAMPAIGN_SPEC)
+    if isinstance(spec, CampaignSpec):
+        return spec
+    if isinstance(spec, dict):
+        return CampaignSpec.from_spec(spec)
+    if isinstance(spec, str):
+        if spec.lstrip().startswith("{"):
+            return CampaignSpec.from_spec(json.loads(spec))
+        return load_campaign(spec)
+    raise FaultError(f"cannot resolve campaign spec from {type(spec).__name__}")
+
+
+# -- one (scenario, protocol, seed) unit ------------------------------------------
+
+
+def run_scenario(
+    spec: CampaignSpec,
+    scenario_name: str,
+    protocol_name: str,
+    seed: int,
+    scale: float = 1.0,
+) -> dict:
+    """Run one scenario under one protocol and seed; returns the JSON-ready
+    per-run resilience record (the campaign report's ``runs`` entries)."""
+    from ..experiments.common import protocol_factory, shared_topology
+
+    scenario = spec.scenario(scenario_name)
+    config = paper_config(population=spec.population, seed=seed, scale=scale)
+    config = dataclasses.replace(
+        config,
+        warmup_lifetimes=spec.warmup_lifetimes,
+        measure_lifetimes=spec.measure_lifetimes,
+    )
+    if spec.root_bandwidth is not None:
+        config = dataclasses.replace(
+            config,
+            workload=dataclasses.replace(
+                config.workload, root_bandwidth=spec.root_bandwidth
+            ),
+        )
+    topology, oracle = shared_topology(config)
+    sim = RecoverySimulation(
+        config,
+        protocol_factory(protocol_name),
+        spec.scheme_list(),
+        topology=topology,
+        oracle=oracle,
+    )
+    resilience = ResilienceMetrics(config.warmup_s, config.horizon_s)
+    injector = FaultInjector(FaultSchedule(seed=seed, faults=scenario.faults))
+    injector.bind(sim.churn, resilience=resilience)
+    result = sim.run()
+    resilience.finish(config.horizon_s)
+
+    churn_metrics = result.churn.metrics
+    schemes = {}
+    for name in sorted(result.schemes):
+        scheme_result = result.schemes[name]
+        groups = scheme_result.groups_selected
+        schemes[name] = {
+            "starving_ratio_pct": scheme_result.avg_starving_ratio_pct,
+            "repair_success_rate": scheme_result.repair_success_rate,
+            "episodes": scheme_result.episodes,
+            "gap_packets": scheme_result.gap_packets_total,
+            "repaired_packets": scheme_result.repaired_packets_total,
+            "mean_group_domain_correlation": (
+                scheme_result.mean_group_domain_correlation
+            ),
+            "mean_group_tree_correlation": (
+                scheme_result.group_tree_correlation_sum / groups
+                if groups
+                else float("nan")
+            ),
+        }
+    fault_events = sum(
+        count
+        for cause, count in resilience.disruption_events.items()
+        if cause.startswith("fault:")
+    )
+    return {
+        "scenario": scenario.name,
+        "protocol": protocol_name,
+        "seed": seed,
+        "mean_population": churn_metrics.mean_population,
+        "fault_log": [
+            {"t": t, "kind": kind, "detail": detail}
+            for t, kind, detail in injector.log
+        ],
+        "fault_disruption_events": fault_events,
+        "mttr_s": resilience.mttr_s(),
+        "mttr_churn_s": resilience.mttr_s("churn"),
+        "delivered_data_ratio": resilience.delivered_data_ratio(
+            churn_metrics.node_seconds
+        ),
+        "resilience": resilience.as_dict(),
+        "schemes": schemes,
+    }
+
+
+# -- campaign fan-out --------------------------------------------------------------
+
+
+@dataclass
+class CampaignReport:
+    """The merged outcome of one campaign."""
+
+    table: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.table
+
+
+def _nanmean(values: Sequence[float]) -> float:
+    clean = [v for v in values if isinstance(v, (int, float)) and v == v]
+    return sum(clean) / len(clean) if clean else math.nan
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    scale: float = 1.0,
+    seed: int = 42,
+    jobs: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+) -> CampaignReport:
+    """Fan the campaign's (scenario x protocol x seed) grid out and merge.
+
+    Jobs go through :func:`repro.experiments.pool.run_jobs`, which
+    preserves submission order, so the emitted report is byte-identical
+    for a given seed at any ``jobs`` value.
+    """
+    from ..experiments.pool import ExperimentJob, run_jobs
+
+    seeds = spec.seeds or (seed, seed + 1)
+    spec_json = spec.canonical_json()
+    batch = [
+        ExperimentJob.make(
+            "faults_scenario",
+            scale=scale,
+            seed=run_seed,
+            spec=spec_json,
+            scenario=scenario.name,
+            protocol=protocol,
+        )
+        for scenario in spec.scenarios
+        for protocol in spec.protocols
+        for run_seed in seeds
+    ]
+    results = run_jobs(batch, parallel_jobs=jobs, timeout_s=timeout_s)
+    runs = [r.data for r in results]
+    return build_report(spec, scale=scale, seeds=list(seeds), runs=runs)
+
+
+def build_report(
+    spec: CampaignSpec, scale: float, seeds: List[int], runs: List[dict]
+) -> CampaignReport:
+    """Aggregate per-run records into the campaign table + JSON schema."""
+    scheme_names = [s.name for s in spec.scheme_list()]
+    summary: Dict[str, Dict[str, dict]] = {}
+    rows = []
+    for scenario in spec.scenarios:
+        for protocol in spec.protocols:
+            group = [
+                r
+                for r in runs
+                if r["scenario"] == scenario.name and r["protocol"] == protocol
+            ]
+            entry = {
+                "fault_disruption_events": _nanmean(
+                    [r["fault_disruption_events"] for r in group]
+                ),
+                "mttr_s": _nanmean([r["mttr_s"] for r in group]),
+                "mttr_churn_s": _nanmean([r["mttr_churn_s"] for r in group]),
+                "delivered_data_ratio": _nanmean(
+                    [r["delivered_data_ratio"] for r in group]
+                ),
+                "repair_success_rate": {
+                    name: _nanmean(
+                        [r["schemes"][name]["repair_success_rate"] for r in group]
+                    )
+                    for name in scheme_names
+                },
+                "mean_group_domain_correlation": {
+                    name: _nanmean(
+                        [
+                            r["schemes"][name]["mean_group_domain_correlation"]
+                            for r in group
+                        ]
+                    )
+                    for name in scheme_names
+                },
+            }
+            summary.setdefault(scenario.name, {})[protocol] = entry
+            rows.append(
+                [
+                    scenario.name,
+                    protocol,
+                    entry["fault_disruption_events"],
+                    entry["mttr_s"],
+                    entry["delivered_data_ratio"],
+                    *[entry["repair_success_rate"][name] for name in scheme_names],
+                ]
+            )
+    header = [
+        "scenario",
+        "protocol",
+        "fault events",
+        "MTTR s",
+        "delivered",
+        *[f"{name} success" for name in scheme_names],
+    ]
+    table = render_table(
+        f"Fault campaign {spec.name!r} "
+        f"(seeds {seeds}, scale {scale:g}, {len(runs)} runs)",
+        header,
+        rows,
+    )
+    data = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "campaign": spec.name,
+        "description": spec.description,
+        "scale": scale,
+        "seeds": list(seeds),
+        "protocols": list(spec.protocols),
+        "scenarios": [s.name for s in spec.scenarios],
+        "schemes": scheme_names,
+        "summary": summary,
+        "runs": runs,
+    }
+    return CampaignReport(table=table, data=data)

@@ -1,0 +1,325 @@
+"""Typed fault primitives for correlated-failure stress testing.
+
+The paper evaluates ROST/CER under *independent* member churn; real
+deployments also see *correlated* events — an access-network outage takes
+every member of a transit-stub domain down at once, a flash crowd doubles
+the audience in a minute, a regional degradation inflates underlay
+delays.  Each primitive here is one such event, declaratively:
+
+* :class:`NodeCrash` — kill N members at one instant (uniformly random,
+  the root's children, or the highest-fanout members);
+* :class:`StubDomainOutage` — kill every overlay member homed in one or
+  more transit-stub domains simultaneously (the correlated-loss case MLC
+  group selection is supposed to defend against);
+* :class:`LinkDegradation` — inflate underlay delays (and account stream
+  loss) on paths touching the given domains for a window;
+* :class:`FlashCrowd` — a join surge of new sessions drawn from the
+  workload's bandwidth/lifetime distributions;
+* :class:`ChurnSurge` — compress the remaining lifetimes of current
+  members, multiplying the departure rate.
+
+Primitives are frozen dataclasses with a JSON/TOML-able spec round-trip
+(:meth:`Fault.to_spec` / :func:`fault_from_spec`).  They carry *when* and
+*what*; the actual engine mechanics live in
+:class:`repro.faults.injector.FaultInjector`, which each primitive drives
+through its :meth:`Fault.inject` hook (duck-typed — this module never
+imports the injector).
+
+Timing is either absolute (``at_s``) or a fraction of the run horizon
+(``at_frac``), so one campaign spec applies unchanged across scales.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Optional, Tuple, Type
+
+import numpy as np
+
+from ..errors import FaultError
+
+#: Spec-kind registry: ``kind`` string -> primitive class.
+FAULT_KINDS: Dict[str, Type["Fault"]] = {}
+
+
+def register_fault(cls: Type["Fault"]) -> Type["Fault"]:
+    """Class decorator adding a primitive to the spec-kind registry."""
+    if not cls.kind:
+        raise FaultError(f"{cls.__name__} must define a non-empty kind")
+    if cls.kind in FAULT_KINDS:
+        raise FaultError(f"duplicate fault kind {cls.kind!r}")
+    FAULT_KINDS[cls.kind] = cls
+    return cls
+
+
+@dataclass(frozen=True, kw_only=True)
+class Fault:
+    """Base primitive: when to fire, spec round-trip, injection hook."""
+
+    kind: ClassVar[str] = ""
+
+    #: Absolute fire time in simulated seconds ...
+    at_s: Optional[float] = None
+    #: ... or a fraction of the run horizon (exactly one must be given).
+    at_frac: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.at_s is None) == (self.at_frac is None):
+            raise FaultError(
+                f"{self.kind or type(self).__name__}: give exactly one of "
+                f"at_s / at_frac (got at_s={self.at_s}, at_frac={self.at_frac})"
+            )
+        if self.at_s is not None and self.at_s < 0:
+            raise FaultError(f"at_s must be >= 0, got {self.at_s}")
+        if self.at_frac is not None and not 0.0 <= self.at_frac <= 1.0:
+            raise FaultError(f"at_frac must be in [0, 1], got {self.at_frac}")
+
+    @property
+    def cause(self) -> str:
+        """The cause tag carried by disruptions this fault triggers."""
+        return f"fault:{self.kind}"
+
+    def fire_time(self, horizon_s: float) -> float:
+        """Resolve the fire time against a concrete run horizon."""
+        if self.at_s is not None:
+            return self.at_s
+        return self.at_frac * horizon_s
+
+    def to_spec(self) -> dict:
+        """JSON/TOML-ready dict; defaults are omitted for brevity."""
+        spec: dict = {"kind": self.kind}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if value == f.default:
+                continue
+            spec[f.name] = list(value) if isinstance(value, tuple) else value
+        return spec
+
+    def inject(self, injector, rng: np.random.Generator) -> dict:
+        """Fire through ``injector`` (a :class:`FaultInjector`); return a
+        JSON-able detail dict for the injection log."""
+        raise NotImplementedError
+
+
+@register_fault
+@dataclass(frozen=True, kw_only=True)
+class NodeCrash(Fault):
+    """Kill ``count`` members at one instant (always abrupt)."""
+
+    kind = "node-crash"
+
+    count: int = 1
+    #: ``random`` (uniform over attached members), ``root-children`` (the
+    #: members directly under the source — repeated decapitation), or
+    #: ``high-degree`` (largest current fan-out first — worst case).
+    selector: str = "random"
+    #: Explicit victims; overrides ``selector``/``count`` when non-empty.
+    member_ids: Tuple[int, ...] = ()
+
+    SELECTORS: ClassVar[Tuple[str, ...]] = ("random", "root-children", "high-degree")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.count < 1:
+            raise FaultError(f"count must be >= 1, got {self.count}")
+        if self.selector not in self.SELECTORS:
+            raise FaultError(
+                f"unknown selector {self.selector!r}; expected one of "
+                f"{self.SELECTORS}"
+            )
+
+    def inject(self, injector, rng: np.random.Generator) -> dict:
+        if self.member_ids:
+            victims = injector.members_by_id(self.member_ids)
+        elif self.selector == "root-children":
+            children = sorted(injector.root_children(), key=lambda n: n.member_id)
+            victims = children[: self.count]
+        elif self.selector == "high-degree":
+            candidates = injector.attached_members()
+            candidates.sort(key=lambda n: (-len(n.children), n.member_id))
+            victims = candidates[: self.count]
+        else:
+            candidates = injector.attached_members()
+            k = min(self.count, len(candidates))
+            picks = rng.choice(len(candidates), size=k, replace=False) if k else []
+            victims = [candidates[int(i)] for i in sorted(int(p) for p in picks)]
+        killed = injector.kill(victims, cause=self.cause)
+        return {"selector": self.selector, "killed": killed}
+
+
+@register_fault
+@dataclass(frozen=True, kw_only=True)
+class StubDomainOutage(Fault):
+    """Kill every member homed in the chosen transit-stub domains at once.
+
+    Models an access-network / regional outage: loss is correlated at the
+    underlay level, which is exactly what tree-level MLC selection cannot
+    see (and what the ``domain_aware`` scheme extension defends against).
+    The multicast source itself never fails (it is assumed to sit in a
+    managed facility), even if its domain is hit.
+    """
+
+    kind = "stub-domain-outage"
+
+    #: How many domains go dark (the currently most-populated ones, ties
+    #: broken by domain id — deterministic and maximally damaging).
+    domains: int = 1
+    #: Explicit domain ids; overrides ``domains`` when non-empty.
+    domain_ids: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.domains < 1:
+            raise FaultError(f"domains must be >= 1, got {self.domains}")
+
+    def inject(self, injector, rng: np.random.Generator) -> dict:
+        if self.domain_ids:
+            chosen = tuple(int(d) for d in self.domain_ids)
+        else:
+            population = injector.attached_domain_population()
+            ranked = sorted(population, key=lambda d: (-population[d], d))
+            chosen = tuple(ranked[: self.domains])
+        victims = injector.members_in_domains(chosen)
+        killed = injector.kill(victims, cause=self.cause)
+        return {"domains": list(chosen), "killed": killed}
+
+
+@register_fault
+@dataclass(frozen=True, kw_only=True)
+class LinkDegradation(Fault):
+    """Inflate underlay path delays (and account stream loss) for a window.
+
+    Paths with an endpoint in ``domain_ids`` (every path when empty) see
+    their oracle delay multiplied by ``delay_factor`` for ``duration_s``
+    seconds.  ``loss_rate`` is the fraction of the stream the affected
+    members lose meanwhile; it feeds the delivered-data ratio without
+    tearing the tree down.
+    """
+
+    kind = "link-degradation"
+
+    duration_s: float = 60.0
+    delay_factor: float = 3.0
+    loss_rate: float = 0.0
+    domain_ids: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration_s <= 0:
+            raise FaultError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.delay_factor < 1.0:
+            raise FaultError(
+                f"delay_factor must be >= 1, got {self.delay_factor}"
+            )
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise FaultError(f"loss_rate must be in [0, 1], got {self.loss_rate}")
+
+    def inject(self, injector, rng: np.random.Generator) -> dict:
+        affected = injector.degrade(
+            domain_ids=self.domain_ids or None,
+            delay_factor=self.delay_factor,
+            loss_rate=self.loss_rate,
+            duration_s=self.duration_s,
+        )
+        return {
+            "affected_members": affected,
+            "duration_s": self.duration_s,
+            "delay_factor": self.delay_factor,
+            "loss_rate": self.loss_rate,
+        }
+
+
+@register_fault
+@dataclass(frozen=True, kw_only=True)
+class FlashCrowd(Fault):
+    """A join surge: ``size`` new sessions starting at the fire time.
+
+    Arrival offsets are ``|N(0, spread_s)|`` (a one-sided burst whose
+    front edge is the fire time); bandwidths and lifetimes draw from the
+    workload's configured distributions unless ``bandwidth`` pins every
+    burst member to one value (useful for controlled tests).
+    """
+
+    kind = "flash-crowd"
+
+    size: int = 50
+    spread_s: float = 60.0
+    bandwidth: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.size < 1:
+            raise FaultError(f"size must be >= 1, got {self.size}")
+        if self.spread_s < 0:
+            raise FaultError(f"spread_s must be >= 0, got {self.spread_s}")
+        if self.bandwidth is not None and self.bandwidth < 0:
+            raise FaultError(f"bandwidth must be >= 0, got {self.bandwidth}")
+
+    def inject(self, injector, rng: np.random.Generator) -> dict:
+        arrivals = injector.spawn_arrivals(
+            size=self.size,
+            spread_s=self.spread_s,
+            rng=rng,
+            bandwidth=self.bandwidth,
+        )
+        return {"arrivals": arrivals}
+
+
+@register_fault
+@dataclass(frozen=True, kw_only=True)
+class ChurnSurge(Fault):
+    """Compress the remaining lifetimes of current members.
+
+    Every attached member (or a ``fraction`` of them) has its remaining
+    session time multiplied by ``lifetime_factor``; the early departures
+    are abrupt and tagged with this fault's cause.  Models a mass loss of
+    interest — the event everyone tuned in for just ended.
+    """
+
+    kind = "churn-surge"
+
+    lifetime_factor: float = 0.25
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.lifetime_factor <= 1.0:
+            raise FaultError(
+                f"lifetime_factor must be in (0, 1], got {self.lifetime_factor}"
+            )
+        if not 0.0 < self.fraction <= 1.0:
+            raise FaultError(f"fraction must be in (0, 1], got {self.fraction}")
+
+    def inject(self, injector, rng: np.random.Generator) -> dict:
+        compressed = injector.compress_lifetimes(
+            factor=self.lifetime_factor,
+            fraction=self.fraction,
+            rng=rng,
+            cause=self.cause,
+        )
+        return {"compressed": compressed}
+
+
+def fault_from_spec(spec: dict) -> Fault:
+    """Build a primitive from its spec dict (inverse of ``to_spec``)."""
+    if not isinstance(spec, dict):
+        raise FaultError(f"fault spec must be a mapping, got {type(spec).__name__}")
+    data = dict(spec)
+    kind = data.pop("kind", None)
+    if kind is None:
+        raise FaultError(f"fault spec missing 'kind': {spec!r}")
+    cls = FAULT_KINDS.get(kind)
+    if cls is None:
+        raise FaultError(
+            f"unknown fault kind {kind!r}; known kinds: {sorted(FAULT_KINDS)}"
+        )
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise FaultError(f"{kind}: unknown spec keys {unknown}; known: {sorted(known)}")
+    kwargs = {
+        name: tuple(value) if isinstance(value, list) else value
+        for name, value in data.items()
+    }
+    return cls(**kwargs)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .stats import mean_and_ci
 
@@ -181,3 +181,147 @@ class ChurnMetrics:
     def mean_population(self) -> float:
         span = self.window_end - self.window_start
         return self.node_seconds / span if span > 0 else math.nan
+
+
+class ResilienceMetrics:
+    """Fault-resilience accounting for one run (see :mod:`repro.faults`).
+
+    Splits every failure-driven quantity by *cause* — ``"churn"`` for
+    ordinary workload departures vs ``"fault:<kind>"`` for injected
+    faults — so a campaign can compare correlated-failure damage against
+    the independent-loss baseline on the same run:
+
+    * **disruptions** — events and affected-member counts per cause, plus
+      per-member disruption totals;
+    * **MTTR** — mean time to repair: how long an orphan stayed detached
+      between a disruption and its successful re-attachment;
+    * **delivered-data ratio** — attached (streaming) node-seconds over
+      attached + detached node-seconds inside the measurement window.
+
+    The churn driver does not know this class; the fault campaign wires
+    it through the ``disruption_observer`` / ``reattach_observer`` /
+    ``departure_observer`` hooks.
+    """
+
+    def __init__(self, window_start: float, window_end: float):
+        if window_end <= window_start:
+            raise ValueError("window_end must be > window_start")
+        self.window_start = window_start
+        self.window_end = window_end
+        #: Faults that actually fired: (time, kind, detail-dict).
+        self.faults_fired: List[Tuple[float, str, dict]] = []
+        #: Disruption events per cause (one event per failed member).
+        self.disruption_events: Dict[str, int] = {}
+        #: Members losing the stream per cause (failed + descendants).
+        self.members_affected: Dict[str, int] = {}
+        #: Per-member disruption counts over the whole run.
+        self.disruptions_per_member: Dict[int, int] = {}
+        #: Repair-time samples per cause, seconds.
+        self.repair_times: Dict[str, List[float]] = {}
+        #: Detached (non-streaming) node-seconds inside the window.
+        self.detached_seconds = 0.0
+        #: Stream content lost to link degradation (loss_rate x member x
+        #: seconds, clipped to the window) while members stayed attached.
+        self.stream_loss_seconds = 0.0
+        #: member_id -> (detach time, cause) for currently-open outages.
+        self._open_outages: Dict[int, Tuple[float, str]] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def record_fault(self, t: float, kind: str, detail: dict) -> None:
+        self.faults_fired.append((t, kind, dict(detail)))
+
+    def record_disruption(self, t: float, cause: str, member_ids) -> None:
+        """One failure event: ``member_ids`` are the failed member and its
+        descendants (everyone whose stream stopped)."""
+        member_ids = list(member_ids)
+        self.disruption_events[cause] = self.disruption_events.get(cause, 0) + 1
+        self.members_affected[cause] = (
+            self.members_affected.get(cause, 0) + len(member_ids)
+        )
+        for member_id in member_ids:
+            self.disruptions_per_member[member_id] = (
+                self.disruptions_per_member.get(member_id, 0) + 1
+            )
+
+    def mark_detached(self, t: float, member_id: int, cause: str) -> None:
+        """An orphan lost its parent at ``t`` (keeps the earliest mark)."""
+        self._open_outages.setdefault(member_id, (t, cause))
+
+    def record_reattach(self, t: float, member_id: int) -> None:
+        opened = self._open_outages.pop(member_id, None)
+        if opened is None:
+            return
+        start, cause = opened
+        self.repair_times.setdefault(cause, []).append(t - start)
+        self._account_detached(start, t)
+
+    def record_stream_loss(
+        self, start: float, end: float, members: int, loss_rate: float
+    ) -> None:
+        """Account partial stream loss over ``[start, end]`` for ``members``
+        attached members (link degradation, not detachment)."""
+        lo = max(start, self.window_start)
+        hi = min(end, self.window_end)
+        if hi > lo and members > 0 and loss_rate > 0:
+            self.stream_loss_seconds += (hi - lo) * members * loss_rate
+
+    def record_departure(self, t: float, member_id: int) -> None:
+        """A member left; close any outage it never repaired."""
+        opened = self._open_outages.pop(member_id, None)
+        if opened is not None:
+            self._account_detached(opened[0], t)
+
+    def finish(self, t: float) -> None:
+        """End of run: members still detached stayed so through ``t``."""
+        for member_id in sorted(self._open_outages):
+            start, _ = self._open_outages[member_id]
+            self._account_detached(start, t)
+        self._open_outages.clear()
+
+    def _account_detached(self, start: float, end: float) -> None:
+        lo = max(start, self.window_start)
+        hi = min(end, self.window_end)
+        if hi > lo:
+            self.detached_seconds += hi - lo
+
+    # -- derived metrics ----------------------------------------------------------
+
+    def mttr_s(self, cause: Optional[str] = None) -> float:
+        """Mean time to repair, overall or for one cause."""
+        if cause is None:
+            samples = [s for times in self.repair_times.values() for s in times]
+        else:
+            samples = self.repair_times.get(cause, [])
+        mean, _ = mean_and_ci(samples)
+        return mean
+
+    def delivered_data_ratio(self, attached_node_seconds: float) -> float:
+        """Streaming time over total (streaming + repairing) member time.
+
+        Stream content lost to link degradation counts against the
+        delivered part even though the members stayed attached.
+        """
+        total = attached_node_seconds + self.detached_seconds
+        if total <= 0:
+            return math.nan
+        delivered = max(0.0, attached_node_seconds - self.stream_loss_seconds)
+        return delivered / total
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (cause-keyed; report schema of campaigns)."""
+        return {
+            "faults_fired": len(self.faults_fired),
+            "disruption_events": dict(sorted(self.disruption_events.items())),
+            "members_affected": dict(sorted(self.members_affected.items())),
+            "disrupted_members": len(self.disruptions_per_member),
+            "max_disruptions_per_member": max(
+                self.disruptions_per_member.values(), default=0
+            ),
+            "mttr_s": {
+                cause: self.mttr_s(cause)
+                for cause in sorted(self.repair_times)
+            },
+            "detached_seconds": self.detached_seconds,
+            "stream_loss_seconds": self.stream_loss_seconds,
+        }

@@ -133,7 +133,8 @@ class MultiTreeSimulation:
     # -- hooks ------------------------------------------------------------------
 
     def _observer_for(self, tree_index: int):
-        def observe(now: float, failed: OverlayNode, in_window: bool) -> None:
+        def observe(event) -> None:
+            now, failed = event.time, event.failed
             window = self.base_config.protocol.recovery_window_s
             for member in failed.descendants():
                 record = self._outages.get(member.member_id)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -62,6 +62,28 @@ def group_loss_correlation(nodes: Sequence[OverlayNode]) -> int:
     for i in range(len(nodes)):
         for j in range(i + 1, len(nodes)):
             total += loss_correlation(nodes[i], nodes[j])
+    return total
+
+
+def group_underlay_correlation(
+    member_ids: Sequence[int], domain_of: Callable[[int], int]
+) -> int:
+    """Underlay-level loss correlation: same-stub-domain pair count.
+
+    Algorithm 1 minimises *tree*-edge sharing, but two recovery nodes
+    homed in the same transit-stub domain still die together under a
+    domain outage (the correlated-failure mode :mod:`repro.faults`
+    injects).  ``domain_of`` maps a member id to its stub-domain id;
+    negative ids mean "unknown" and never match.
+    """
+    domains = [domain_of(m) for m in member_ids]
+    total = 0
+    for i in range(len(domains)):
+        if domains[i] < 0:
+            continue
+        for j in range(i + 1, len(domains)):
+            if domains[i] == domains[j]:
+                total += 1
     return total
 
 
@@ -171,12 +193,20 @@ def select_mlc_group(
     view: PartialTreeView,
     group_size: int,
     rng: np.random.Generator,
+    domain_of: Optional[Callable[[int], int]] = None,
 ) -> List[int]:
     """Algorithm 1: the minimum-loss-correlation recovery group.
 
     Returns up to ``group_size`` member ids (fewer if the view is too
     small).  The root itself is never selected — the source serves the
     whole tree and is not a peer recovery node.
+
+    When ``domain_of`` is given, the per-subtree descendant pick (step 4)
+    additionally scores candidates by *underlay* loss correlation: among
+    each subtree's candidates, one whose stub domain is not already used
+    by the group is preferred, so a single domain outage cannot take out
+    several recovery nodes at once.  With ``domain_of=None`` the
+    selection is byte-identical to the paper's Algorithm 1.
     """
     if group_size < 1:
         raise RecoveryError(f"group_size must be >= 1, got {group_size}")
@@ -220,10 +250,20 @@ def select_mlc_group(
     # Step 4: one random descendant (or the subtree root itself) per G0
     # member.  Picking inside the subtree balances repair load.
     group: List[int] = []
+    used_domains: Set[int] = set()
     for root_of_subtree in g0:
         pool = view.descendants_of(root_of_subtree)
         pool.append(root_of_subtree)
-        group.append(pool[int(rng.integers(0, len(pool)))])
+        if domain_of is not None:
+            fresh = [m for m in pool if domain_of(m) not in used_domains]
+            if fresh:
+                pool = fresh
+        pick = pool[int(rng.integers(0, len(pool)))]
+        group.append(pick)
+        if domain_of is not None:
+            domain = domain_of(pick)
+            if domain >= 0:
+                used_domains.add(domain)
     return group
 
 

@@ -30,25 +30,41 @@ class RecoveryScheme:
     #: behaviour).  When False, every affected member recovers
     #: independently with its own group (ELN ablation).
     eln: bool = True
+    #: Extend MLC selection with underlay loss correlation: prefer
+    #: recovery nodes in distinct transit-stub domains, so a correlated
+    #: domain outage (see :mod:`repro.faults`) cannot kill several
+    #: recovery sources at once.  Only meaningful with ``use_mlc``.
+    domain_aware: bool = False
 
     def __post_init__(self) -> None:
         if self.group_size < 1:
             raise RecoveryError(f"group_size must be >= 1, got {self.group_size}")
         if self.buffer_s <= 0:
             raise RecoveryError(f"buffer_s must be > 0, got {self.buffer_s}")
+        if self.domain_aware and not self.use_mlc:
+            raise RecoveryError("domain_aware requires use_mlc")
 
 
 def cer_scheme(
-    group_size: int, buffer_s: float = 5.0, eln: bool = True
+    group_size: int,
+    buffer_s: float = 5.0,
+    eln: bool = True,
+    domain_aware: bool = False,
 ) -> RecoveryScheme:
     """The paper's CER: MLC-selected group, striped repair."""
+    name = f"cer-k{group_size}-b{buffer_s:g}"
+    if not eln:
+        name += "-noeln"
+    if domain_aware:
+        name += "-da"
     return RecoveryScheme(
-        name=f"cer-k{group_size}-b{buffer_s:g}" + ("" if eln else "-noeln"),
+        name=name,
         group_size=group_size,
         use_mlc=True,
         striped=True,
         buffer_s=buffer_s,
         eln=eln,
+        domain_aware=domain_aware,
     )
 
 

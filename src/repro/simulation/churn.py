@@ -49,14 +49,38 @@ JOIN_RETRY_S = 5.0
 MAX_JOIN_ATTEMPTS = 100
 
 
-class DisruptionObserver(TypingProtocol):
-    """Callback protocol for failure events (see RecoverySimulation).
+#: Cause tag for ordinary workload-driven abrupt departures.
+CHURN_CAUSE = "churn"
 
-    Invoked just before the departed member is dismantled, so ``failed``
-    still carries its children and subtree.
+
+@dataclass(frozen=True)
+class DisruptionEvent:
+    """One abrupt-failure event, as seen by a ``disruption_observer``.
+
+    Delivered just before the departed member is dismantled, so
+    ``failed`` still carries its children and subtree.  ``cause``
+    distinguishes workload churn (``"churn"``) from injected faults
+    (``"fault:<kind>"``, see :mod:`repro.faults`), so injector-caused and
+    churn-caused disruptions stay separable in metrics.
     """
 
-    def __call__(self, time: float, failed: OverlayNode, in_window: bool) -> None: ...
+    time: float
+    failed: OverlayNode
+    #: Whether the event falls inside the measurement window.
+    in_window: bool
+    cause: str = CHURN_CAUSE
+    #: Members losing the stream: the failed member plus its descendants.
+    subtree_size: int = 1
+    #: Members failing in the *same* correlated event (e.g. every victim
+    #: of a stub-domain outage).  Recovery sources drawn from this set are
+    #: dead at repair time even if they have not been dismantled yet.
+    co_failed_ids: frozenset = frozenset()
+
+
+class DisruptionObserver(TypingProtocol):
+    """Callback protocol for failure events (see RecoverySimulation)."""
+
+    def __call__(self, event: DisruptionEvent) -> None: ...
 
 
 @dataclass
@@ -104,6 +128,7 @@ class ChurnSimulation:
         probe: Optional[Session] = None,
         disruption_observer: Optional[DisruptionObserver] = None,
         departure_observer: Optional[Callable[[float, OverlayNode], None]] = None,
+        reattach_observer: Optional[Callable[[float, OverlayNode], None]] = None,
         member_setup: Optional[Callable[[OverlayNode], None]] = None,
         tree_samples: int = 10,
         probe_sample_interval_s: float = 60.0,
@@ -183,6 +208,9 @@ class ChurnSimulation:
             )
         self.disruption_observer = disruption_observer
         self.departure_observer = departure_observer
+        #: Called with ``(time, orphan)`` whenever a member re-attaches
+        #: after losing its parent (used for time-to-repair accounting).
+        self.reattach_observer = reattach_observer
         self.member_setup = member_setup
         self.tree_samples = tree_samples
         self.probe_sample_interval_s = probe_sample_interval_s
@@ -260,7 +288,33 @@ class ChurnSimulation:
             label="join-retry",
         )
 
-    def _on_departure(self, node: OverlayNode) -> None:
+    def fail_member(
+        self,
+        node: OverlayNode,
+        cause: str,
+        co_failed_ids: frozenset = frozenset(),
+    ) -> bool:
+        """Abruptly fail ``node`` right now (fault injection entry point).
+
+        The member departs through the ordinary abrupt path — descendants
+        are disrupted, orphans rejoin after the recovery window — but the
+        emitted :class:`DisruptionEvent` carries ``cause`` instead of
+        ``"churn"``, and ``co_failed_ids`` names every member dying in the
+        same correlated event.  Returns False if ``node`` already left.
+        """
+        if self.tree.members.get(node.member_id) is not node:
+            return False
+        if node.is_root:
+            raise SimulationError("the root cannot be fault-injected away")
+        self._on_departure(node, cause=cause, co_failed_ids=co_failed_ids)
+        return True
+
+    def _on_departure(
+        self,
+        node: OverlayNode,
+        cause: str = CHURN_CAUSE,
+        co_failed_ids: frozenset = frozenset(),
+    ) -> None:
         if self.tree.members.get(node.member_id) is not node:
             return
         now = self.sim.now
@@ -273,8 +327,11 @@ class ChurnSimulation:
         if pending is not None:
             pending.cancel()
 
+        # Injected failures are always abrupt: a crashed member does not
+        # announce itself, whatever the graceful fraction says.
         graceful = (
             was_attached
+            and cause == CHURN_CAUSE
             and self.graceful_departure_fraction > 0.0
             and self._departure_rng.random() < self.graceful_departure_fraction
         )
@@ -285,7 +342,16 @@ class ChurnSimulation:
             # The observer sees the overlay *before* the departed member is
             # dismantled: recovery-group selection and loss-correlation
             # evaluation both depend on the pre-failure structure.
-            self.disruption_observer(now, node, self.metrics.in_window(now))
+            self.disruption_observer(
+                DisruptionEvent(
+                    time=now,
+                    failed=node,
+                    in_window=self.metrics.in_window(now),
+                    cause=cause,
+                    subtree_size=1 + len(descendants),
+                    co_failed_ids=co_failed_ids,
+                )
+            )
         orphans = self.tree.remove_departed(node)
 
         if abrupt:
@@ -343,6 +409,8 @@ class ChurnSimulation:
                 if self.protocol.place(orphan, rejoin=True):
                     orphan.reconnections += 1
                     self.metrics.record_failure_reconnection(now)
+                    if self.reattach_observer is not None:
+                        self.reattach_observer(now, orphan)
                     continue
                 # No position available right now — degrade to the normal
                 # recovery path (without counting disruptions: the parent
@@ -364,6 +432,8 @@ class ChurnSimulation:
             orphan.reconnections += 1
             self.metrics.record_failure_reconnection(now)
             self.metrics.record_population(now, self.tree.num_attached)
+            if self.reattach_observer is not None:
+                self.reattach_observer(now, orphan)
             return
         self._pending_rejoins[orphan.member_id] = self.sim.schedule_in(
             self.config.protocol.rejoin_s, lambda: self._on_rejoin(orphan)

@@ -32,9 +32,15 @@ from ..metrics.stats import mean_and_ci
 from ..overlay.node import OverlayNode
 from ..recovery.buffer import PlaybackState
 from ..recovery.episode import BackfillSpec, RepairSource, starvation_episode
-from ..recovery.mlc import PartialTreeView, select_mlc_group, select_random_group
+from ..recovery.mlc import (
+    PartialTreeView,
+    group_loss_correlation,
+    group_underlay_correlation,
+    select_mlc_group,
+    select_random_group,
+)
 from ..recovery.schemes import RecoveryScheme
-from .churn import ChurnRunResult, ChurnSimulation
+from .churn import ChurnRunResult, ChurnSimulation, DisruptionEvent
 
 
 @dataclass
@@ -52,6 +58,17 @@ class SchemeResult:
     #: Total repair coverage observed (mean fraction of the stream rate
     #: the contacted sources provided).
     coverage_sum: float = 0.0
+    #: Gap packets priced / repaired before their playback deadline,
+    #: summed over every member-episode: their ratio is the scheme's
+    #: repair success rate (the campaign-level resilience headline).
+    gap_packets_total: int = 0
+    repaired_packets_total: int = 0
+    #: Loss-correlation accounting of the recovery groups this scheme
+    #: actually used: pairwise shared-tree-edge sums (Section 4.1's ``w``)
+    #: and pairwise same-stub-domain counts, summed over episodes.
+    group_tree_correlation_sum: int = 0
+    group_domain_correlation_sum: int = 0
+    groups_selected: int = 0
 
     @property
     def avg_starving_ratio_pct(self) -> float:
@@ -81,6 +98,20 @@ class SchemeResult:
     @property
     def mean_coverage(self) -> float:
         return self.coverage_sum / self.episodes if self.episodes else float("nan")
+
+    @property
+    def repair_success_rate(self) -> float:
+        """Fraction of gap packets delivered before their deadline."""
+        if self.gap_packets_total <= 0:
+            return float("nan")
+        return self.repaired_packets_total / self.gap_packets_total
+
+    @property
+    def mean_group_domain_correlation(self) -> float:
+        """Mean same-stub-domain pair count per selected recovery group."""
+        if self.groups_selected <= 0:
+            return float("nan")
+        return self.group_domain_correlation_sum / self.groups_selected
 
 
 @dataclass
@@ -133,10 +164,15 @@ class RecoveryObserver:
 
     # -- disruption pricing -----------------------------------------------------------
 
-    def on_disruption(self, now: float, failed: OverlayNode, in_window: bool) -> None:
+    def on_disruption(self, event: DisruptionEvent) -> None:
         assert self.churn is not None, "observer not bound to a churn simulation"
+        now, failed = event.time, event.failed
         affected_ids = {failed.member_id}
         affected_ids.update(d.member_id for d in failed.descendants())
+        # Correlated-failure accounting: members dying in the same fault
+        # event (e.g. a whole stub domain) cannot serve repairs either,
+        # even when they have not been dismantled yet at pricing time.
+        affected_ids.update(event.co_failed_ids)
         rescued = self._rescued_children(now, failed)
         for child in failed.children:
             self._price_child_episode(
@@ -243,11 +279,17 @@ class RecoveryObserver:
             ]
         )
         if scheme.use_mlc:
-            group_ids = select_mlc_group(view, scheme.group_size, group_rng)
+            group_ids = select_mlc_group(
+                view,
+                scheme.group_size,
+                group_rng,
+                domain_of=self._domain_of if scheme.domain_aware else None,
+            )
         else:
             group_ids = select_random_group(view, scheme.group_size, group_rng)
         oracle = self.churn.oracle
         members = self.churn.tree.members
+        self._record_group_correlation(scheme, group_ids, members)
         sources = []
         for member_id in group_ids:
             node = members.get(member_id)
@@ -267,6 +309,28 @@ class RecoveryObserver:
         # network distance" (Section 4.2).
         sources.sort(key=lambda s: s.delay_ms)
         return sources
+
+    def _domain_of(self, member_id: int) -> int:
+        """Stub-domain id of a member (-1 when unknown or on transit)."""
+        node = self.churn.tree.members.get(member_id)
+        if node is None:
+            return -1
+        return int(self.churn.topology.node_domain[node.underlay_node])
+
+    def _record_group_correlation(
+        self, scheme: RecoveryScheme, group_ids: List[int], members: Dict
+    ) -> None:
+        """Accumulate tree- and underlay-level loss correlation of the
+        group actually selected (deterministic per seed: the groups are)."""
+        if not group_ids:
+            return
+        result = self.results[scheme.name]
+        result.groups_selected += 1
+        live = [members[m] for m in group_ids if m in members]
+        result.group_tree_correlation_sum += group_loss_correlation(live)
+        result.group_domain_correlation_sum += group_underlay_correlation(
+            group_ids, self._domain_of
+        )
 
     def _apply_episode(
         self,
@@ -303,6 +367,8 @@ class RecoveryObserver:
             state.record_episode(now, outcome.starving_s, outcome.repair_end_s)
             result.episodes += 1
             result.coverage_sum += outcome.coverage
+            result.gap_packets_total += outcome.gap_packets
+            result.repaired_packets_total += outcome.repaired_in_time
 
     def _state_for(self, scheme: RecoveryScheme, member: OverlayNode) -> PlaybackState:
         key = (scheme.name, member.member_id)

@@ -4,12 +4,19 @@ These scenarios stress the drivers well outside the paper's nominal
 operating point: mass simultaneous failures, capacity famine, flash
 joins at a single instant.  The invariants must hold throughout and the
 overlay must re-converge.
+
+The injected-failure scenarios (mass failure, flash join, decapitation)
+drive the engine through :mod:`repro.faults` primitives; the remaining
+ones hand-roll workloads because their stress is the *workload shape*
+itself (famine, wedges, storms), not an injected event.
 """
 
 import dataclasses
 
 import pytest
 
+from repro.faults import FaultInjector, FaultSchedule, FlashCrowd, NodeCrash
+from repro.metrics.collectors import ResilienceMetrics
 from repro.protocols import PROTOCOLS
 from repro.simulation.churn import ChurnSimulation
 from repro.workload.generator import ChurnWorkload
@@ -41,20 +48,21 @@ def make_sessions(count, arrival, lifetime, bandwidth, start_id=1, node=6):
 
 @pytest.mark.parametrize("protocol_name", ["min-depth", "rost", "relaxed-bo"])
 def test_mass_simultaneous_failure(protocol_name):
-    """Half the population departs at the same instant."""
+    """Half the population is killed at the same instant."""
     cfg = small_sim_config(population=100, seed=3)
-    survivors = make_sessions(60, arrival=0.0, lifetime=5000.0, bandwidth=3.0)
-    victims = make_sessions(
-        60, arrival=100.0, lifetime=900.0, bandwidth=2.0, start_id=1000
-    )
-    workload = build_workload(cfg, survivors + victims, horizon=3000.0)
+    members = make_sessions(120, arrival=0.0, lifetime=5000.0, bandwidth=3.0)
+    workload = build_workload(cfg, members, horizon=3000.0)
     sim = ChurnSimulation(
         cfg, PROTOCOLS[protocol_name], workload=workload, check_invariants=True
     )
-    result = sim.run()
+    injector = FaultInjector(
+        FaultSchedule(seed=3, faults=(NodeCrash(at_s=1000.0, count=60),))
+    ).bind(sim)
+    sim.run()
+    assert injector.log[0][1] == "node-crash"
+    assert len(injector.log[0][2]["killed"]) == 60
     # every surviving member is attached again by the end
     assert sim.tree.num_attached == 61  # 60 survivors + root
-    assert result.metrics.disruption_events >= 0
     sim.tree.check_invariants()
 
 
@@ -75,13 +83,29 @@ def test_capacity_famine_rejects_gracefully():
 def test_flash_join_single_instant():
     """Hundreds of members join in the same simulated second."""
     cfg = small_sim_config(population=200, seed=5)
-    flash = make_sessions(300, arrival=1.0, lifetime=4000.0, bandwidth=2.0)
-    workload = build_workload(cfg, flash, horizon=2000.0)
+    stable = make_sessions(5, arrival=0.0, lifetime=4000.0, bandwidth=2.0)
+    # a short horizon measures right after the surge, before the burst's
+    # heavy-tailed (median ~245 s) lifetimes drain the crowd away again
+    horizon = 300.0
+    workload = build_workload(cfg, stable, horizon=horizon)
     sim = ChurnSimulation(
         cfg, PROTOCOLS["rost"], workload=workload, check_invariants=True
     )
+    injector = FaultInjector(
+        FaultSchedule(
+            seed=5,
+            faults=(FlashCrowd(at_s=1.0, size=300, spread_s=0.0, bandwidth=2.0),),
+        )
+    ).bind(sim)
     sim.run()
-    assert sim.tree.num_attached == 301
+    assert injector.log[0][2] == {"arrivals": 300}
+    # nobody is capacity-rejected (everyone can forward), so attachment is
+    # session arithmetic: the stable members plus the burst members whose
+    # distribution-drawn lifetimes outlast the horizon
+    burst = [s for mid, s in injector._sessions.items() if mid > 5]
+    alive = sum(1 for s in burst if s.departure_s > horizon)
+    assert sim.tree.num_attached == 1 + 5 + alive
+    assert sim.tree.num_attached > 100  # the crowd genuinely joined
     sim.tree.check_invariants()
 
 
@@ -95,33 +119,30 @@ def test_repeated_decapitation():
     cfg = dataclasses.replace(
         cfg, workload=dataclasses.replace(cfg.workload, root_bandwidth=20.0)
     )
-    # waves of high-bandwidth members that die young, plus stable leaves
-    sessions = []
-    next_id = 1
-    for wave in range(8):
-        for i in range(10):
-            sessions.append(
-                Session(
-                    member_id=next_id,
-                    arrival_s=1.0 + 200.0 * wave,
-                    lifetime_s=250.0,
-                    bandwidth=10.0,
-                    underlay_node=6 + next_id % 48,
-                )
-            )
-            next_id += 1
     # long-lived members that can each forward one stream: capacity never
     # collapses, so the waves always have descendants to disrupt
-    sessions += make_sessions(
-        80, arrival=5.0, lifetime=6000.0, bandwidth=1.2, start_id=5000
-    )
-    workload = build_workload(cfg, sessions, horizon=2000.0)
+    horizon = 2000.0
+    sessions = make_sessions(80, arrival=5.0, lifetime=6000.0, bandwidth=1.2)
+    workload = build_workload(cfg, sessions, horizon=horizon)
     sim = ChurnSimulation(
         cfg, PROTOCOLS["rost"], workload=workload, check_invariants=True
     )
-    result = sim.run()
+    waves = tuple(
+        NodeCrash(at_s=100.0 + 200.0 * wave, selector="root-children", count=5)
+        for wave in range(8)
+    )
+    resilience = ResilienceMetrics(0.0, horizon)
+    injector = FaultInjector(FaultSchedule(seed=6, faults=waves)).bind(
+        sim, resilience=resilience
+    )
+    sim.run()
+    resilience.finish(horizon)
     sim.tree.check_invariants()
-    assert result.metrics.disruption_events > 0
+    assert len(injector.log) == 8  # every wave fired
+    assert sum(len(d["killed"]) for _, _, d in injector.log) == 40
+    assert resilience.disruption_events["fault:node-crash"] > 0
+    # the decapitated subtrees re-attached and their repairs were timed
+    assert resilience.repair_times.get("fault:node-crash")
 
 
 def test_capacity_wedge_is_survived_not_solved():

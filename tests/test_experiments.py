@@ -23,6 +23,8 @@ ALL_IDS = [
     "control-messages",
     "ext-multitree",
     "ext-rescue",
+    "faults_campaign",
+    "faults_scenario",
 ] + FIGURE_IDS
 
 

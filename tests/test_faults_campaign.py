@@ -1,0 +1,154 @@
+"""Campaign specs, fan-out determinism, and the resilience report schema."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    DEFAULT_CAMPAIGN_SPEC,
+    CampaignSpec,
+    load_campaign,
+    resolve_campaign,
+    run_campaign,
+)
+from repro.faults.campaign import REPORT_SCHEMA_VERSION
+
+SMALL_SPEC = {
+    "name": "unit-small",
+    "population": 400,
+    "warmup_lifetimes": 0.25,
+    "measure_lifetimes": 0.5,
+    "protocols": ["min-depth"],
+    "seeds": [1],
+    "group_size": 2,
+    "root_bandwidth": 6.0,
+    "scenarios": [
+        {"name": "baseline", "faults": []},
+        {
+            "name": "outage",
+            "faults": [
+                {"kind": "stub-domain-outage", "domains": 2, "at_frac": 0.6}
+            ],
+        },
+    ],
+}
+SCALE = 0.1  # population 40 under a 6-slot root: deep trees, fast runs
+
+
+@pytest.fixture(scope="module")
+def small_reports():
+    spec = CampaignSpec.from_spec(SMALL_SPEC)
+    serial = run_campaign(spec, scale=SCALE, jobs=1)
+    fanned = run_campaign(spec, scale=SCALE, jobs=2)
+    return serial, fanned
+
+
+def test_default_spec_round_trip():
+    spec = resolve_campaign(None)
+    assert spec.name == DEFAULT_CAMPAIGN_SPEC["name"]
+    assert resolve_campaign(spec) is spec
+    assert resolve_campaign(spec.canonical_json()) == spec
+    assert CampaignSpec.from_spec(spec.to_spec()) == spec
+
+
+def test_campaign_validation():
+    with pytest.raises(FaultError):
+        CampaignSpec.from_spec({**SMALL_SPEC, "bogus_key": 1})
+    with pytest.raises(FaultError):
+        CampaignSpec.from_spec({**SMALL_SPEC, "scenarios": []})
+    with pytest.raises(FaultError):
+        CampaignSpec.from_spec(
+            {
+                **SMALL_SPEC,
+                "scenarios": [
+                    {"name": "dup", "faults": []},
+                    {"name": "dup", "faults": []},
+                ],
+            }
+        )
+    with pytest.raises(FaultError):
+        CampaignSpec.from_spec({**SMALL_SPEC, "seeds": [-3]})
+    with pytest.raises(FaultError):
+        CampaignSpec.from_spec({**SMALL_SPEC, "root_bandwidth": 0.5})
+    with pytest.raises(FaultError):
+        resolve_campaign(3.5)
+
+
+def test_scheme_list_includes_domain_aware_variant():
+    spec = CampaignSpec.from_spec({**SMALL_SPEC, "domain_aware": True})
+    names = [s.name for s in spec.scheme_list()]
+    assert len(names) == 3
+    assert sum(name.endswith("-da") for name in names) == 1
+    plain = CampaignSpec.from_spec({**SMALL_SPEC, "domain_aware": False})
+    assert len(plain.scheme_list()) == 2
+
+
+def test_report_byte_identical_at_any_jobs(small_reports):
+    serial, fanned = small_reports
+    dump = lambda r: json.dumps(r.data, sort_keys=True, default=str)  # noqa: E731
+    assert dump(serial) == dump(fanned)
+    assert serial.table == fanned.table
+
+
+def test_report_schema(small_reports):
+    report, _ = small_reports
+    data = report.data
+    assert data["schema_version"] == REPORT_SCHEMA_VERSION
+    assert data["campaign"] == "unit-small"
+    assert data["scale"] == SCALE
+    assert data["seeds"] == [1]
+    assert data["protocols"] == ["min-depth"]
+    assert data["scenarios"] == ["baseline", "outage"]
+    assert len(data["runs"]) == 2  # 2 scenarios x 1 protocol x 1 seed
+    for scenario in data["scenarios"]:
+        entry = data["summary"][scenario]["min-depth"]
+        for key in (
+            "fault_disruption_events",
+            "mttr_s",
+            "mttr_churn_s",
+            "delivered_data_ratio",
+            "repair_success_rate",
+            "mean_group_domain_correlation",
+        ):
+            assert key in entry
+        assert set(entry["repair_success_rate"]) == set(data["schemes"])
+    for run in data["runs"]:
+        assert set(run) >= {
+            "scenario",
+            "protocol",
+            "seed",
+            "fault_log",
+            "fault_disruption_events",
+            "mttr_s",
+            "delivered_data_ratio",
+            "resilience",
+            "schemes",
+        }
+        assert "disruption_events" in run["resilience"]
+    baseline, outage = data["runs"]
+    assert baseline["fault_disruption_events"] == 0
+    assert outage["fault_disruption_events"] >= 1
+    assert outage["fault_log"][0]["kind"] == "stub-domain-outage"
+
+
+def test_example_campaign_specs_load():
+    campaigns = Path(__file__).resolve().parents[1] / "examples" / "campaigns"
+    mirror = load_campaign(str(campaigns / "stub_outage.json"))
+    assert mirror == CampaignSpec.from_spec(DEFAULT_CAMPAIGN_SPEC)
+    smoke = load_campaign(str(campaigns / "smoke.json"))
+    assert smoke.root_bandwidth is not None  # deep trees even at tiny scale
+    assert smoke.seeds  # pinned seeds: CI runs are reproducible
+    assert any(
+        fault.kind == "stub-domain-outage"
+        for scenario in smoke.scenarios
+        for fault in scenario.faults
+    )
+
+
+def test_experiments_registered():
+    from repro.experiments import REGISTRY
+
+    assert "faults_scenario" in REGISTRY
+    assert "faults_campaign" in REGISTRY

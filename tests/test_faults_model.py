@@ -1,0 +1,108 @@
+"""Fault primitive specs: registry, validation, timing, round-trips."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    FAULT_KINDS,
+    ChurnSurge,
+    FlashCrowd,
+    LinkDegradation,
+    NodeCrash,
+    StubDomainOutage,
+    fault_from_spec,
+)
+
+
+def test_registry_contains_all_kinds():
+    assert set(FAULT_KINDS) == {
+        "node-crash",
+        "stub-domain-outage",
+        "link-degradation",
+        "flash-crowd",
+        "churn-surge",
+    }
+    assert FAULT_KINDS["node-crash"] is NodeCrash
+    assert FAULT_KINDS["stub-domain-outage"] is StubDomainOutage
+
+
+def test_exactly_one_timing_field():
+    with pytest.raises(FaultError):
+        NodeCrash()  # neither
+    with pytest.raises(FaultError):
+        NodeCrash(at_s=10.0, at_frac=0.5)  # both
+    assert NodeCrash(at_s=10.0).fire_time(100.0) == 10.0
+    assert NodeCrash(at_frac=0.25).fire_time(2000.0) == 500.0
+
+
+def test_timing_ranges():
+    with pytest.raises(FaultError):
+        NodeCrash(at_s=-1.0)
+    with pytest.raises(FaultError):
+        NodeCrash(at_frac=1.5)
+    with pytest.raises(FaultError):
+        NodeCrash(at_frac=-0.1)
+
+
+def test_cause_tag():
+    assert StubDomainOutage(at_s=1.0).cause == "fault:stub-domain-outage"
+    assert ChurnSurge(at_s=1.0).cause == "fault:churn-surge"
+
+
+def test_to_spec_omits_defaults():
+    spec = NodeCrash(at_s=100.0, count=5).to_spec()
+    assert spec == {"kind": "node-crash", "at_s": 100.0, "count": 5}
+
+
+def test_spec_round_trip_every_kind():
+    faults = [
+        NodeCrash(at_s=10.0, count=3, selector="high-degree"),
+        NodeCrash(at_frac=0.5, member_ids=(4, 7)),
+        StubDomainOutage(at_frac=0.4, domains=2),
+        StubDomainOutage(at_s=5.0, domain_ids=(1, 3)),
+        LinkDegradation(
+            at_s=9.0,
+            duration_s=30.0,
+            delay_factor=2.0,
+            loss_rate=0.25,
+            domain_ids=(2,),
+        ),
+        FlashCrowd(at_frac=0.1, size=120, spread_s=0.0, bandwidth=2.0),
+        ChurnSurge(at_s=40.0, lifetime_factor=0.5, fraction=0.8),
+    ]
+    for fault in faults:
+        assert fault_from_spec(fault.to_spec()) == fault
+
+
+def test_from_spec_rejects_bad_specs():
+    with pytest.raises(FaultError):
+        fault_from_spec({"kind": "meteor-strike", "at_s": 1.0})
+    with pytest.raises(FaultError):
+        fault_from_spec({"kind": "node-crash", "at_s": 1.0, "bogus": 2})
+    with pytest.raises(FaultError):
+        fault_from_spec({"at_s": 1.0})  # missing kind
+    with pytest.raises(FaultError):
+        fault_from_spec([1])  # not a mapping
+
+
+def test_per_kind_validation():
+    with pytest.raises(FaultError):
+        NodeCrash(at_s=1.0, count=0)
+    with pytest.raises(FaultError):
+        NodeCrash(at_s=1.0, selector="bogus")
+    with pytest.raises(FaultError):
+        StubDomainOutage(at_s=1.0, domains=0)
+    with pytest.raises(FaultError):
+        LinkDegradation(at_s=1.0, duration_s=0.0)
+    with pytest.raises(FaultError):
+        LinkDegradation(at_s=1.0, delay_factor=0.5)
+    with pytest.raises(FaultError):
+        LinkDegradation(at_s=1.0, loss_rate=1.5)
+    with pytest.raises(FaultError):
+        FlashCrowd(at_s=1.0, size=0)
+    with pytest.raises(FaultError):
+        FlashCrowd(at_s=1.0, spread_s=-1.0)
+    with pytest.raises(FaultError):
+        ChurnSurge(at_s=1.0, lifetime_factor=0.0)
+    with pytest.raises(FaultError):
+        ChurnSurge(at_s=1.0, fraction=1.5)

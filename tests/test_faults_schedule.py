@@ -1,0 +1,104 @@
+"""Fault schedules: composition, fire plans, JSON/TOML loading."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    FaultSchedule,
+    FlashCrowd,
+    NodeCrash,
+    StubDomainOutage,
+    load_schedule,
+)
+
+
+def make_schedule():
+    return FaultSchedule(
+        seed=7,
+        faults=(NodeCrash(at_frac=0.5), StubDomainOutage(at_s=100.0)),
+    )
+
+
+def test_seed_must_be_non_negative():
+    with pytest.raises(FaultError):
+        FaultSchedule(seed=-1)
+
+
+def test_faults_must_be_faults():
+    with pytest.raises(FaultError):
+        FaultSchedule(faults=("not-a-fault",))
+
+
+def test_compose_keeps_left_seed():
+    a = FaultSchedule(seed=3, faults=(NodeCrash(at_s=1.0),))
+    b = FaultSchedule(seed=9, faults=(FlashCrowd(at_s=2.0),))
+    combined = a + b
+    assert combined.seed == 3
+    assert len(combined) == 2
+    assert combined.faults == a.faults + b.faults
+
+
+def test_with_seed():
+    assert make_schedule().with_seed(11).seed == 11
+    assert make_schedule().with_seed(11).faults == make_schedule().faults
+
+
+def test_fire_plan_sorted_with_stable_ties():
+    sched = FaultSchedule(
+        faults=(
+            NodeCrash(at_s=500.0),
+            StubDomainOutage(at_frac=0.1),
+            NodeCrash(at_s=500.0, count=2),
+        )
+    )
+    plan = sched.fire_plan(2000.0)
+    assert [t for t, _ in plan] == [200.0, 500.0, 500.0]
+    # ties preserve schedule order
+    assert plan[1][1] is sched.faults[0]
+    assert plan[2][1] is sched.faults[2]
+
+
+def test_spec_round_trip():
+    sched = make_schedule()
+    assert FaultSchedule.from_spec(sched.to_spec()) == sched
+
+
+def test_from_spec_rejects_bad_specs():
+    with pytest.raises(FaultError):
+        FaultSchedule.from_spec({"seed": 0, "faults": [], "extra": 1})
+    with pytest.raises(FaultError):
+        FaultSchedule.from_spec({"faults": 3})
+    with pytest.raises(FaultError):
+        FaultSchedule.from_spec("nope")
+
+
+def test_load_json(tmp_path):
+    path = tmp_path / "sched.json"
+    path.write_text(json.dumps(make_schedule().to_spec()))
+    assert load_schedule(str(path)) == make_schedule()
+
+
+def test_load_toml(tmp_path):
+    content = """\
+seed = 5
+
+[[faults]]
+kind = "stub-domain-outage"
+domains = 2
+at_frac = 0.5
+
+[[faults]]
+kind = "flash-crowd"
+size = 10
+at_s = 120.0
+"""
+    path = tmp_path / "sched.toml"
+    path.write_text(content)
+    sched = load_schedule(str(path))
+    assert sched.seed == 5
+    assert sched.faults == (
+        StubDomainOutage(at_frac=0.5, domains=2),
+        FlashCrowd(at_s=120.0, size=10),
+    )

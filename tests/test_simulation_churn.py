@@ -110,9 +110,11 @@ def test_disruption_observer_sees_prefailure_state(shared_infra):
     topo, oracle = shared_infra
     observed = []
 
-    def observer(now, failed, in_window):
+    def observer(event):
         # the failed member must still be wired into the tree
-        observed.append((failed.attached, len(failed.children)))
+        observed.append((event.failed.attached, len(event.failed.children)))
+        assert event.cause == "churn"
+        assert event.subtree_size == 1 + len(event.failed.descendants())
 
     sim = ChurnSimulation(
         small_sim_config(population=80, seed=11),
