@@ -42,3 +42,16 @@ class SimulationError(ReproError):
 
 class FaultError(ReproError):
     """A fault-injection primitive, schedule or campaign spec is invalid."""
+
+
+class InvariantError(ReproError):
+    """A registered runtime invariant was violated during a checked run.
+
+    Raised by a strict :class:`repro.invariants.InvariantChecker`; carries
+    the structured :class:`repro.invariants.InvariantViolation` report as
+    :attr:`violation`.
+    """
+
+    def __init__(self, violation):
+        super().__init__(str(violation))
+        self.violation = violation

@@ -10,6 +10,7 @@ workload over a shared underlay, mirroring the paper's methodology.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
@@ -107,6 +108,12 @@ def shared_workload(
     return workload
 
 
+def _invariants_enabled() -> bool:
+    """The CLI's ``--check-invariants`` travels via the environment (it
+    must reach pool workers and the cached run helpers alike)."""
+    return os.environ.get("REPRO_CHECK_INVARIANTS", "") not in ("", "0")
+
+
 def protocol_factory(name: str, **kwargs) -> Callable:
     """A factory for ``name``, optionally overriding ROST's feature flags."""
     cls = PROTOCOLS[name]
@@ -126,6 +133,7 @@ def churn_run(
     rost_flags: Optional[dict] = None,
 ) -> ChurnRunResult:
     """One (cached) churn run."""
+    checked = _invariants_enabled()
     key = (
         "churn",
         protocol_name,
@@ -134,6 +142,7 @@ def churn_run(
         probe.lifetime_s if probe is not None else None,
         switch_interval_s,
         tuple(sorted((rost_flags or {}).items())),
+        checked,
     )
     cached = _churn_cache.get(key)
     if cached is not None:
@@ -150,6 +159,7 @@ def churn_run(
         oracle=oracle,
         workload=workload,
         probe=probe,
+        check_invariants=checked,
     )
     result = sim.run()
     _churn_cache[key] = result
@@ -164,6 +174,7 @@ def recovery_run(
     replica: int = 0,
 ) -> RecoveryRunResult:
     """One (cached) recovery run evaluating a grid of schemes."""
+    checked = _invariants_enabled()
     key = (
         "recovery",
         protocol_name,
@@ -171,6 +182,7 @@ def recovery_run(
         settings,
         tuple(s.name for s in schemes),
         replica,
+        checked,
     )
     cached = _recovery_cache.get(key)
     if cached is not None:
@@ -185,6 +197,7 @@ def recovery_run(
         schemes,
         topology=topology,
         oracle=oracle,
+        check_invariants=checked,
     )
     result = sim.run()
     _recovery_cache[key] = result

@@ -27,13 +27,19 @@ def run_faults_scenario(
     spec=None,
     scenario: Optional[str] = None,
     protocol: Optional[str] = None,
+    check_invariants: bool = False,
     **_,
 ) -> ExperimentResult:
     campaign = resolve_campaign(spec)
     scenario_name = scenario if scenario is not None else campaign.scenarios[0].name
     protocol_name = protocol if protocol is not None else campaign.protocols[0]
     data = run_scenario(
-        campaign, scenario_name, protocol_name, seed=seed, scale=scale
+        campaign,
+        scenario_name,
+        protocol_name,
+        seed=seed,
+        scale=scale,
+        check_invariants=check_invariants,
     )
     scheme_names = sorted(data["schemes"])
     table = render_table(
@@ -75,11 +81,17 @@ def run_faults_campaign(
     spec=None,
     jobs: Optional[int] = 1,
     job_timeout: Optional[float] = None,
+    check_invariants: bool = False,
     **_,
 ) -> ExperimentResult:
     campaign = resolve_campaign(spec)
     report = run_campaign(
-        campaign, scale=scale, seed=seed, jobs=jobs, timeout_s=job_timeout
+        campaign,
+        scale=scale,
+        seed=seed,
+        jobs=jobs,
+        timeout_s=job_timeout,
+        check_invariants=check_invariants,
     )
     return ExperimentResult(
         experiment_id="faults_campaign",

@@ -49,14 +49,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run a fault-injection campaign (see docs/faults.md)",
     )
     faults.add_argument(
-        "--spec",
-        type=str,
+        "spec_path",
+        nargs="?",
         default=None,
+        metavar="spec",
         help="campaign spec file (.json or .toml) or inline JSON object "
         "(default: the built-in stub-outage example campaign)",
     )
+    faults.add_argument(
+        "--spec",
+        type=str,
+        default=None,
+        help="alternative to the positional spec argument",
+    )
     faults.add_argument("--scale", type=float, default=1.0)
     faults.add_argument("--seed", type=int, default=42)
+    faults.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="run every unit under the runtime invariant checker "
+        "(see docs/invariants.md); violations are reported in the "
+        "summary and make the command exit non-zero",
+    )
     faults.add_argument(
         "--jobs",
         type=int,
@@ -110,6 +124,12 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         type=str,
         default=None,
         help="directory to write one SVG chart per experiment with series data",
+    )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="run every simulation under the strict runtime invariant "
+        "checker (see docs/invariants.md); the first violation aborts",
     )
 
 
@@ -235,6 +255,11 @@ def _write_svg(result, directory: str) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if getattr(args, "check_invariants", False) and args.command in ("run", "all"):
+        # The experiment modules build their simulations deep inside
+        # cached helpers (and possibly in pool workers, which inherit the
+        # environment), so the flag travels as an environment variable.
+        os.environ["REPRO_CHECK_INVARIANTS"] = "1"
     if args.command == "list":
         for experiment in list_experiments():
             print(
@@ -253,18 +278,28 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _run_faults_campaign(args) -> int:
     from ..faults.campaign import resolve_campaign, run_campaign
 
-    campaign = resolve_campaign(args.spec)
+    spec = args.spec_path if args.spec_path is not None else args.spec
+    campaign = resolve_campaign(spec)
     report = run_campaign(
         campaign,
         scale=args.scale,
         seed=args.seed,
         jobs=args.jobs,
         timeout_s=args.job_timeout,
+        check_invariants=args.check_invariants,
     )
-    _Emitter(args.out).emit(report.table)
+    emitter = _Emitter(args.out)
+    emitter.emit(report.table)
+    violations = report.data.get("invariant_violations")
+    if args.check_invariants:
+        runs = len(report.data.get("runs", []))
+        emitter.emit(
+            f"invariants: {violations or 0} violation(s) across {runs} "
+            f"checked run(s)"
+        )
     if args.json:
         _atomic_write(args.json, json.dumps(report.data, indent=2, default=str))
-    return 0
+    return 1 if violations else 0
 
 
 if __name__ == "__main__":

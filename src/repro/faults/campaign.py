@@ -232,15 +232,26 @@ def resolve_campaign(spec) -> CampaignSpec:
 # -- one (scenario, protocol, seed) unit ------------------------------------------
 
 
+#: Cap on embedded violation reports per run record (keeps a pathological
+#: run's JSON bounded; the total count is always exact).
+MAX_VIOLATION_REPORTS = 25
+
+
 def run_scenario(
     spec: CampaignSpec,
     scenario_name: str,
     protocol_name: str,
     seed: int,
     scale: float = 1.0,
+    check_invariants: bool = False,
 ) -> dict:
     """Run one scenario under one protocol and seed; returns the JSON-ready
-    per-run resilience record (the campaign report's ``runs`` entries)."""
+    per-run resilience record (the campaign report's ``runs`` entries).
+
+    With ``check_invariants`` the run carries a non-strict
+    :class:`~repro.invariants.InvariantChecker`; its findings land in the
+    record's ``invariants`` block instead of aborting the campaign.
+    """
     from ..experiments.common import protocol_factory, shared_topology
 
     scenario = spec.scenario(scenario_name)
@@ -258,12 +269,18 @@ def run_scenario(
             ),
         )
     topology, oracle = shared_topology(config)
+    checker = None
+    if check_invariants:
+        from ..invariants import InvariantChecker
+
+        checker = InvariantChecker(strict=False)
     sim = RecoverySimulation(
         config,
         protocol_factory(protocol_name),
         spec.scheme_list(),
         topology=topology,
         oracle=oracle,
+        check_invariants=checker if checker is not None else False,
     )
     resilience = ResilienceMetrics(config.warmup_s, config.horizon_s)
     injector = FaultInjector(FaultSchedule(seed=seed, faults=scenario.faults))
@@ -296,7 +313,7 @@ def run_scenario(
         for cause, count in resilience.disruption_events.items()
         if cause.startswith("fault:")
     )
-    return {
+    record: dict = {
         "scenario": scenario.name,
         "protocol": protocol_name,
         "seed": seed,
@@ -314,6 +331,16 @@ def run_scenario(
         "resilience": resilience.as_dict(),
         "schemes": schemes,
     }
+    if checker is not None:
+        record["invariants"] = {
+            "checked": True,
+            "sweeps": checker.sweeps,
+            "violations": len(checker.violations),
+            "reports": [
+                v.as_dict() for v in checker.violations[:MAX_VIOLATION_REPORTS]
+            ],
+        }
+    return record
 
 
 # -- campaign fan-out --------------------------------------------------------------
@@ -341,17 +368,23 @@ def run_campaign(
     seed: int = 42,
     jobs: Optional[int] = None,
     timeout_s: Optional[float] = None,
+    check_invariants: bool = False,
 ) -> CampaignReport:
     """Fan the campaign's (scenario x protocol x seed) grid out and merge.
 
     Jobs go through :func:`repro.experiments.pool.run_jobs`, which
     preserves submission order, so the emitted report is byte-identical
-    for a given seed at any ``jobs`` value.
+    for a given seed at any ``jobs`` value.  ``check_invariants`` runs
+    every unit under a non-strict invariant checker and rolls the
+    violation counts up into the report.
     """
     from ..experiments.pool import ExperimentJob, run_jobs
 
     seeds = spec.seeds or (seed, seed + 1)
     spec_json = spec.canonical_json()
+    # Only added when enabled, so job identities (and any caching keyed on
+    # them) are unchanged for ordinary runs.
+    extra = {"check_invariants": True} if check_invariants else {}
     batch = [
         ExperimentJob.make(
             "faults_scenario",
@@ -360,6 +393,7 @@ def run_campaign(
             spec=spec_json,
             scenario=scenario.name,
             protocol=protocol,
+            **extra,
         )
         for scenario in spec.scenarios
         for protocol in spec.protocols
@@ -446,4 +480,8 @@ def build_report(
         "summary": summary,
         "runs": runs,
     }
+    if any("invariants" in r for r in runs):
+        data["invariant_violations"] = sum(
+            r.get("invariants", {}).get("violations", 0) for r in runs
+        )
     return CampaignReport(table=table, data=data)

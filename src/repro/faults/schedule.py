@@ -21,6 +21,8 @@ Schedules compose with ``+`` and load from JSON or TOML spec files::
 from __future__ import annotations
 
 import json
+import math
+import re
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
@@ -94,6 +96,12 @@ def load_schedule(path: str) -> FaultSchedule:
     return FaultSchedule.from_spec(_load_spec_file(path))
 
 
+def save_schedule(path: str, schedule: FaultSchedule) -> None:
+    """Write a schedule spec to a ``.json`` or ``.toml`` file (the inverse
+    of :func:`load_schedule`; the round-trip is lossless)."""
+    dump_spec_file(path, schedule.to_spec())
+
+
 def _load_spec_file(path: str) -> dict:
     """Parse a JSON or TOML spec file (format chosen by extension)."""
     if path.endswith(".toml"):
@@ -103,3 +111,88 @@ def _load_spec_file(path: str) -> dict:
             return tomllib.load(handle)
     with open(path) as handle:
         return json.load(handle)
+
+
+def dump_spec_file(path: str, spec: dict) -> None:
+    """Write a spec mapping as ``.json`` or ``.toml`` (by extension).
+
+    The TOML form round-trips through :mod:`tomllib` back to the exact
+    spec mapping (the stdlib parses TOML but cannot write it, so the
+    emitter below covers the spec subset: scalars, homogeneous-by-JSON
+    arrays, and lists of tables such as ``faults`` / ``scenarios``).
+    """
+    if path.endswith(".toml"):
+        content = dumps_toml(spec)
+    else:
+        content = json.dumps(spec, indent=2) + "\n"
+    with open(path, "w") as handle:
+        handle.write(content)
+
+
+_BARE_KEY = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+def _is_table_array(value) -> bool:
+    return (
+        isinstance(value, (list, tuple))
+        and len(value) > 0
+        and all(isinstance(item, dict) for item in value)
+    )
+
+
+def _toml_key(key) -> str:
+    if not isinstance(key, str):
+        raise FaultError(f"TOML keys must be strings, got {type(key).__name__}")
+    return key if _BARE_KEY.match(key) else json.dumps(key)
+
+
+def _toml_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise FaultError(f"cannot write non-finite float {value!r} as TOML")
+        # repr() keeps full precision and always contains '.' or 'e', so
+        # tomllib reads it back as a float (never silently as an int).
+        return repr(value)
+    if isinstance(value, str):
+        # JSON string escaping is a subset of TOML basic-string escaping.
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(item) for item in value) + "]"
+    raise FaultError(
+        f"cannot write {type(value).__name__} value as a TOML scalar"
+    )
+
+
+def _emit_table(lines: List[str], prefix: str, table: dict) -> None:
+    nested = []
+    for key, value in table.items():
+        if _is_table_array(value):
+            nested.append((key, value))
+        elif isinstance(value, dict):
+            raise FaultError(
+                f"spec key {key!r}: inline tables are not supported by the "
+                "TOML writer; use a list of tables"
+            )
+        else:
+            lines.append(f"{_toml_key(key)} = {_toml_value(value)}")
+    for key, items in nested:
+        name = prefix + _toml_key(key)
+        for item in items:
+            lines.append("")
+            lines.append(f"[[{name}]]")
+            _emit_table(lines, name + ".", item)
+
+
+def dumps_toml(spec: dict) -> str:
+    """Render a spec mapping as TOML text (see :func:`dump_spec_file`)."""
+    if not isinstance(spec, dict):
+        raise FaultError(
+            f"spec must be a mapping, got {type(spec).__name__}"
+        )
+    lines: List[str] = []
+    _emit_table(lines, "", spec)
+    return "\n".join(lines) + "\n"

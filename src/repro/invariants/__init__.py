@@ -1,0 +1,55 @@
+"""Runtime invariant checking for simulation runs.
+
+The declarative registry (:mod:`~repro.invariants.registry`) names every
+guarantee the simulator is supposed to uphold, layer by layer — sim
+kernel, overlay tree, ROST switching, recovery pricing, fault injection —
+and :class:`InvariantChecker` enforces the suite against any
+:class:`~repro.simulation.churn.ChurnSimulation` without modifying
+protocol code::
+
+    sim = ChurnSimulation(config, factory, check_invariants=True)
+    sim.run()   # raises InvariantError on the first violation
+
+or, accumulating for a report (the campaign ``--check-invariants`` path)::
+
+    checker = InvariantChecker(strict=False)
+    sim = ChurnSimulation(config, factory, check_invariants=checker)
+    sim.run()
+    checker.violations   # structured InvariantViolation records
+
+See ``docs/invariants.md`` for the invariant catalogue and how to add
+a new checker.
+"""
+
+from .checker import InvariantChecker
+from .registry import (
+    LAYERS,
+    REGISTRY,
+    CheckContext,
+    Invariant,
+    InvariantViolation,
+    all_invariants,
+    declare_invariant,
+    get_invariant,
+    invariant,
+    invariants_for,
+    register_invariant,
+)
+
+# Importing the checker module registers the built-in suite (see
+# repro.invariants.checks); nothing else to do here.
+
+__all__ = [
+    "LAYERS",
+    "REGISTRY",
+    "CheckContext",
+    "Invariant",
+    "InvariantChecker",
+    "InvariantViolation",
+    "all_invariants",
+    "declare_invariant",
+    "get_invariant",
+    "invariant",
+    "invariants_for",
+    "register_invariant",
+]

@@ -23,6 +23,18 @@ class Simulator:
         self._now = 0.0
         self._events_processed = 0
         self._running = False
+        #: Optional per-event observation hooks: ``trace_pre(event)`` runs
+        #: after the clock advances but before the action, ``trace_post``
+        #: after the action returns (a quiescent point — no handler is on
+        #: the stack).  ``None`` (the default) costs one attribute check
+        #: per event; used by :mod:`repro.invariants`.
+        self.trace_pre: Optional[Callable[[Event], None]] = None
+        self.trace_post: Optional[Callable[[Event], None]] = None
+
+    @property
+    def event_queue(self) -> EventQueue:
+        """The underlying queue (read-only diagnostic surface)."""
+        return self._queue
 
     @property
     def now(self) -> float:
@@ -90,7 +102,11 @@ class Simulator:
                 event = self._queue.pop()
                 self._now = event.time
                 self._events_processed += 1
+                if self.trace_pre is not None:
+                    self.trace_pre(event)
                 event.action()
+                if self.trace_post is not None:
+                    self.trace_post(event)
             self._now = end_time
         finally:
             self._running = False
@@ -108,7 +124,11 @@ class Simulator:
                 event = self._queue.pop()
                 self._now = event.time
                 self._events_processed += 1
+                if self.trace_pre is not None:
+                    self.trace_pre(event)
                 event.action()
+                if self.trace_post is not None:
+                    self.trace_post(event)
                 fired += 1
         finally:
             self._running = False

@@ -151,6 +151,18 @@ class EventQueue:
         event._queue = None
         return event
 
+    def live_events(self):
+        """Iterate over the pending (non-cancelled) events, heap order.
+
+        O(n) diagnostic surface for audits and invariant checking; the
+        hot path never calls it.  The iteration order is the raw heap
+        layout, not firing order.
+        """
+        for entry in self._heap:
+            event = entry[3]
+            if not event.cancelled:
+                yield event
+
     def _drop_cancelled_head(self) -> None:
         heap = self._heap
         while heap and heap[0][3].cancelled:

@@ -132,11 +132,17 @@ class ChurnSimulation:
         member_setup: Optional[Callable[[OverlayNode], None]] = None,
         tree_samples: int = 10,
         probe_sample_interval_s: float = 60.0,
-        check_invariants: bool = False,
+        check_invariants=False,
         graceful_departure_fraction: float = 0.0,
         membership_mode: str = "abstract",
     ):
-        """``graceful_departure_fraction`` extends the paper's abrupt-only
+        """``check_invariants`` enables runtime invariant checking (see
+        :mod:`repro.invariants`): ``True`` attaches a strict
+        :class:`~repro.invariants.InvariantChecker` that raises on the
+        first violation; passing a checker instance uses it as configured
+        (e.g. ``strict=False`` to accumulate violations for a report).
+
+        ``graceful_departure_fraction`` extends the paper's abrupt-only
         extreme: that fraction of departures announce themselves, so their
         children re-attach immediately (make-before-break) with neither a
         streaming disruption nor the 15 s recovery window.
@@ -229,6 +235,18 @@ class ChurnSimulation:
         self.probe_delay_ms: Optional[TimeSeries] = None
         self._pending_rejoins: Dict[int, Event] = {}
         self._ran = False
+        #: The attached checker, or None (set last: it observes everything
+        #: constructed above, including the protocol's switch surface).
+        self.invariant_checker = None
+        if check_invariants:
+            from ..invariants import InvariantChecker
+
+            checker = (
+                check_invariants
+                if isinstance(check_invariants, InvariantChecker)
+                else InvariantChecker()
+            )
+            self.invariant_checker = checker.attach(self)
 
     # -- public API ------------------------------------------------------------------
 
@@ -244,7 +262,9 @@ class ChurnSimulation:
         self._schedule_tree_samples()
         self.sim.run_until(self.workload.horizon_s)
         self.metrics.record_population(self.workload.horizon_s, self.tree.num_attached)
-        if self.check_invariants:
+        if self.invariant_checker is not None:
+            self.invariant_checker.finalize()
+        elif self.check_invariants:
             self.tree.check_invariants()
         return self._result()
 

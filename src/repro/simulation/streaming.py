@@ -436,6 +436,9 @@ class RecoverySimulation:
             **churn_kwargs,
         )
         self.observer.churn = self.churn
+        if self.churn.invariant_checker is not None:
+            # Extend the checker into the recovery layer (episode pricing).
+            self.churn.invariant_checker.attach_recovery(self.observer)
 
     def run(self) -> RecoveryRunResult:
         churn_result = self.churn.run()

@@ -8,9 +8,25 @@ test may share read-only.
 from __future__ import annotations
 
 import dataclasses
+import os
 
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import settings
+except ImportError:  # hypothesis is an optional test dependency
+    pass
+else:
+    # Select with HYPOTHESIS_PROFILE=ci|dev|thorough (default: dev).  The
+    # "ci" profile is derandomized so a fuzz-smoke job cannot flake; run
+    # "thorough" locally before touching protocol or kernel code.
+    settings.register_profile("dev", max_examples=20, deadline=None)
+    settings.register_profile(
+        "ci", max_examples=25, derandomize=True, deadline=None
+    )
+    settings.register_profile("thorough", max_examples=300, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.config import (
     ProtocolConfig,

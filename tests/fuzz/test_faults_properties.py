@@ -1,0 +1,189 @@
+"""Property-based tests for FaultSchedule: RNG prefix invariance and
+lossless spec round-trips through both the JSON and the TOML writers.
+
+Run explicitly with ``pytest -m fuzz`` (excluded from tier-1 by the
+default marker expression in pyproject.toml).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st
+
+from repro.faults import (
+    ChurnSurge,
+    FaultInjector,
+    FaultSchedule,
+    FlashCrowd,
+    LinkDegradation,
+    NodeCrash,
+    StubDomainOutage,
+)
+from repro.faults.schedule import dumps_toml, load_schedule, save_schedule
+from repro.protocols import PROTOCOLS
+from repro.simulation.churn import ChurnSimulation
+from repro.topology.routing import DelayOracle
+from repro.topology.transit_stub import generate_transit_stub
+from repro.workload.generator import ChurnWorkload
+from repro.workload.session import RootSpec, Session
+from tests.conftest import TINY_TOPOLOGY, small_sim_config
+
+pytestmark = pytest.mark.fuzz
+
+TOPOLOGY = generate_transit_stub(TINY_TOPOLOGY)
+ORACLE = DelayOracle(TOPOLOGY)
+
+#: Fixed workload: the properties vary only the fault schedules.
+SESSIONS = [
+    Session(
+        member_id=i + 1,
+        arrival_s=0.0,
+        lifetime_s=5000.0,
+        bandwidth=2.0,
+        underlay_node=6 + i % 48,
+    )
+    for i in range(30)
+]
+
+
+def finite(lo, hi):
+    return st.floats(min_value=lo, max_value=hi,
+                     allow_nan=False, allow_infinity=False)
+
+
+# -- prefix invariance ---------------------------------------------------------
+
+#: Faults whose effect (and RNG draws) land before t=300.
+early_faults = st.one_of(
+    st.builds(
+        NodeCrash,
+        at_s=finite(50.0, 300.0),
+        count=st.integers(1, 8),
+        selector=st.sampled_from(NodeCrash.SELECTORS),
+    ),
+    st.builds(StubDomainOutage, at_s=finite(50.0, 300.0), domains=st.integers(1, 2)),
+    st.builds(
+        ChurnSurge,
+        at_s=finite(50.0, 300.0),
+        lifetime_factor=finite(0.3, 0.9),
+        fraction=finite(0.2, 0.9),
+    ),
+)
+
+
+def injector_log(schedule):
+    cfg = small_sim_config(population=40, seed=11)
+    workload = ChurnWorkload(
+        config=cfg.workload,
+        root=RootSpec(bandwidth=cfg.workload.root_bandwidth, underlay_node=6),
+        sessions=SESSIONS,
+        horizon_s=600.0,
+    )
+    sim = ChurnSimulation(
+        cfg,
+        PROTOCOLS["min-depth"],
+        topology=TOPOLOGY,
+        oracle=ORACLE,
+        workload=workload,
+    )
+    injector = FaultInjector(schedule).bind(sim)
+    sim.run()
+    return injector.log
+
+
+@given(
+    base=st.lists(early_faults, min_size=1, max_size=3),
+    seed=st.integers(0, 2**16),
+    extra_count=st.integers(1, 5),
+)
+def test_appending_a_fault_never_perturbs_earlier_draws(base, seed, extra_count):
+    """Per-fault RNG streams are keyed (schedule seed, fault index), so a
+    fault appended to a schedule must leave every earlier fault's
+    injection log — victim picks included — byte-identical."""
+    extra = NodeCrash(at_s=450.0, count=extra_count)
+    log_a = injector_log(FaultSchedule(seed=seed, faults=tuple(base)))
+    log_b = injector_log(FaultSchedule(seed=seed, faults=tuple(base) + (extra,)))
+    assert log_b[: len(log_a)] == log_a
+    assert len(log_b) == len(log_a) + 1
+    assert log_b[-1][1] == "node-crash"
+
+
+# -- spec round-trips ----------------------------------------------------------
+
+
+@st.composite
+def timing(draw):
+    if draw(st.booleans()):
+        return {"at_s": draw(finite(0.0, 5000.0))}
+    return {"at_frac": draw(finite(0.0, 1.0))}
+
+
+@st.composite
+def any_fault(draw):
+    kind = draw(st.sampled_from(["crash", "outage", "degrade", "crowd", "surge"]))
+    when = draw(timing())
+    if kind == "crash":
+        return NodeCrash(
+            count=draw(st.integers(1, 100)),
+            selector=draw(st.sampled_from(NodeCrash.SELECTORS)),
+            member_ids=tuple(draw(st.lists(st.integers(1, 10_000), max_size=4))),
+            **when,
+        )
+    if kind == "outage":
+        return StubDomainOutage(
+            domains=draw(st.integers(1, 5)),
+            domain_ids=tuple(draw(st.lists(st.integers(0, 40), max_size=3))),
+            **when,
+        )
+    if kind == "degrade":
+        return LinkDegradation(
+            duration_s=draw(finite(0.001, 600.0)),
+            delay_factor=draw(finite(1.0, 20.0)),
+            loss_rate=draw(finite(0.0, 1.0)),
+            domain_ids=tuple(draw(st.lists(st.integers(0, 40), max_size=3))),
+            **when,
+        )
+    if kind == "crowd":
+        return FlashCrowd(
+            size=draw(st.integers(1, 500)),
+            spread_s=draw(finite(0.0, 300.0)),
+            bandwidth=draw(st.one_of(st.none(), finite(0.0, 5.0))),
+            **when,
+        )
+    return ChurnSurge(
+        lifetime_factor=draw(finite(0.001, 1.0)),
+        fraction=draw(finite(0.001, 1.0)),
+        **when,
+    )
+
+
+schedules = st.builds(
+    FaultSchedule,
+    seed=st.integers(0, 2**31 - 1),
+    faults=st.lists(any_fault(), max_size=4).map(tuple),
+)
+
+
+@given(schedule=schedules)
+def test_spec_round_trips_losslessly_in_json_and_toml(schedule):
+    with tempfile.TemporaryDirectory() as tmp:
+        for filename in ("schedule.json", "schedule.toml"):
+            path = os.path.join(tmp, filename)
+            save_schedule(path, schedule)
+            loaded = load_schedule(path)
+            assert loaded == schedule, filename
+            assert loaded.to_spec() == schedule.to_spec(), filename
+
+
+@given(schedule=schedules)
+def test_toml_writer_output_parses_with_tomllib(schedule):
+    import tomllib
+
+    spec = schedule.to_spec()
+    assert tomllib.loads(dumps_toml(spec)) == spec

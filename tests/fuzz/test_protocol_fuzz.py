@@ -1,0 +1,140 @@
+"""Property-based protocol fuzzing: random churn + faults, zero violations.
+
+Hypothesis generates random join/leave schedules and small fault
+campaigns, runs them under a *strict* :class:`InvariantChecker` sweeping
+after every event, and asserts the full registered invariant suite holds
+throughout.  Profiles are registered in ``tests/conftest.py``
+(``HYPOTHESIS_PROFILE=ci`` derandomizes for the CI smoke job).
+
+Run explicitly with ``pytest -m fuzz``; excluded from tier-1 by the
+default marker expression in pyproject.toml.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st
+
+from repro.faults import (
+    FaultInjector,
+    FaultSchedule,
+    FlashCrowd,
+    NodeCrash,
+    StubDomainOutage,
+)
+from repro.invariants import InvariantChecker
+from repro.protocols import PROTOCOLS
+from repro.recovery.schemes import cer_scheme
+from repro.simulation.churn import ChurnSimulation
+from repro.simulation.streaming import RecoverySimulation
+from repro.topology.routing import DelayOracle
+from repro.topology.transit_stub import generate_transit_stub
+from repro.workload.generator import ChurnWorkload
+from repro.workload.session import RootSpec, Session
+from tests.conftest import TINY_TOPOLOGY, small_sim_config
+
+pytestmark = pytest.mark.fuzz
+
+# Shared read-only underlay: building it per example would dominate runtime.
+TOPOLOGY = generate_transit_stub(TINY_TOPOLOGY)
+ORACLE = DelayOracle(TOPOLOGY)
+
+HORIZON_S = 600.0
+
+
+def build_workload(config, sessions, horizon=HORIZON_S):
+    return ChurnWorkload(
+        config=config.workload,
+        root=RootSpec(bandwidth=config.workload.root_bandwidth, underlay_node=6),
+        sessions=sorted(sessions, key=lambda s: s.arrival_s),
+        horizon_s=horizon,
+    )
+
+
+def finite(lo, hi):
+    return st.floats(min_value=lo, max_value=hi,
+                     allow_nan=False, allow_infinity=False)
+
+
+fault_times = finite(10.0, 500.0)
+
+faults = st.one_of(
+    st.builds(
+        NodeCrash,
+        at_s=fault_times,
+        count=st.integers(1, 5),
+        selector=st.sampled_from(NodeCrash.SELECTORS),
+    ),
+    st.builds(StubDomainOutage, at_s=fault_times, domains=st.integers(1, 2)),
+    st.builds(
+        FlashCrowd,
+        at_s=fault_times,
+        size=st.integers(1, 8),
+        spread_s=finite(0.0, 30.0),
+    ),
+)
+
+
+@st.composite
+def churn_scenarios(draw):
+    count = draw(st.integers(3, 25))
+    sessions = [
+        Session(
+            member_id=i + 1,
+            arrival_s=draw(finite(0.0, 300.0)),
+            lifetime_s=draw(finite(30.0, 900.0)),
+            bandwidth=draw(st.sampled_from([0.5, 1.0, 2.0, 3.0])),
+            underlay_node=6 + i % 48,
+        )
+        for i in range(count)
+    ]
+    protocol = draw(st.sampled_from(["min-depth", "rost", "relaxed-bo"]))
+    seed = draw(st.integers(0, 2**16))
+    schedule = tuple(draw(st.lists(faults, max_size=3)))
+    return sessions, protocol, seed, schedule
+
+
+@given(scenario=churn_scenarios())
+def test_fuzzed_churn_upholds_every_invariant(scenario):
+    sessions, protocol, seed, schedule = scenario
+    cfg = small_sim_config(population=40, seed=seed % 997)
+    checker = InvariantChecker(strict=True, interval_events=1)
+    sim = ChurnSimulation(
+        cfg,
+        PROTOCOLS[protocol],
+        topology=TOPOLOGY,
+        oracle=ORACLE,
+        workload=build_workload(cfg, sessions),
+        check_invariants=checker,
+    )
+    if schedule:
+        FaultInjector(FaultSchedule(seed=seed, faults=schedule)).bind(sim)
+    sim.run()  # the strict checker raises InvariantError on any violation
+    assert checker.violations == []
+    assert checker.sweeps > 0
+
+
+@given(scenario=churn_scenarios())
+def test_fuzzed_recovery_upholds_every_invariant(scenario):
+    """The same scenarios through RecoverySimulation, so the disruption ->
+    episode-pricing path runs under the recovery-layer invariants too."""
+    sessions, protocol, seed, schedule = scenario
+    cfg = small_sim_config(population=40, seed=seed % 997)
+    checker = InvariantChecker(strict=True, interval_events=16)
+    rsim = RecoverySimulation(
+        cfg,
+        PROTOCOLS[protocol],
+        [cer_scheme(group_size=3)],
+        topology=TOPOLOGY,
+        oracle=ORACLE,
+        workload=build_workload(cfg, sessions),
+        check_invariants=checker,
+    )
+    if schedule:
+        FaultInjector(FaultSchedule(seed=seed, faults=schedule)).bind(rsim.churn)
+    rsim.run()
+    assert checker.violations == []
+    assert checker.sweeps > 0

@@ -23,6 +23,8 @@ from repro.workload.generator import ChurnWorkload
 from repro.workload.session import RootSpec, Session
 from tests.conftest import small_sim_config
 
+pytestmark = pytest.mark.chaos
+
 
 def build_workload(config, sessions, horizon):
     return ChurnWorkload(

@@ -133,6 +133,25 @@ def test_report_schema(small_reports):
     assert outage["fault_log"][0]["kind"] == "stub-domain-outage"
 
 
+@pytest.mark.slow
+def test_checked_report_byte_identical_across_jobs_and_seeds():
+    """--jobs {1,2,4} x 3 seeds with invariant checking on: reports must
+    be byte-identical and every run must come back checked and clean."""
+    spec = CampaignSpec.from_spec({**SMALL_SPEC, "seeds": [1, 2, 3]})
+    dumps = []
+    for jobs in (1, 2, 4):
+        report = run_campaign(spec, scale=SCALE, jobs=jobs, check_invariants=True)
+        dumps.append(json.dumps(report.data, sort_keys=True, default=str))
+        assert report.data["invariant_violations"] == 0
+        runs = report.data["runs"]
+        assert len(runs) == 6  # 2 scenarios x 1 protocol x 3 seeds
+        for run in runs:
+            assert run["invariants"]["checked"]
+            assert run["invariants"]["sweeps"] > 0
+            assert run["invariants"]["violations"] == 0
+    assert dumps[0] == dumps[1] == dumps[2]
+
+
 def test_example_campaign_specs_load():
     campaigns = Path(__file__).resolve().parents[1] / "examples" / "campaigns"
     mirror = load_campaign(str(campaigns / "stub_outage.json"))

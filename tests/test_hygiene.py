@@ -1,0 +1,61 @@
+"""Repository hygiene: no bytecode or cache artefacts ever get tracked.
+
+CI enforces the same rule with a `git ls-files` guard; this test keeps
+the check in the local tier-1 loop so an accidental `git add -A` of
+__pycache__ directories is caught before a push.
+"""
+
+import fnmatch
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+FORBIDDEN_PATTERNS = (
+    "*.pyc",
+    "*.pyo",
+    "*/__pycache__/*",
+    "__pycache__/*",
+    "*/.pytest_cache/*",
+    "*/.hypothesis/*",
+    ".coverage",
+    "coverage.xml",
+)
+
+
+def tracked_files():
+    if shutil.which("git") is None or not (REPO_ROOT / ".git").exists():
+        pytest.skip("not a git checkout")
+    out = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return out.stdout.splitlines()
+
+
+def test_no_bytecode_or_cache_artifacts_tracked():
+    offenders = [
+        path
+        for path in tracked_files()
+        for pattern in FORBIDDEN_PATTERNS
+        if fnmatch.fnmatch(path, pattern)
+    ]
+    assert offenders == [], f"cache/bytecode artefacts tracked: {offenders}"
+
+
+def test_gitignore_covers_test_tooling_artifacts():
+    ignored = (REPO_ROOT / ".gitignore").read_text().splitlines()
+    for required in ("__pycache__/", "*.pyc", ".hypothesis/", ".coverage"):
+        assert required in ignored, f".gitignore is missing {required!r}"
+
+
+def test_manifest_excludes_bytecode_from_sdists():
+    manifest = (REPO_ROOT / "MANIFEST.in").read_text()
+    assert "global-exclude *.py[cod]" in manifest
+    assert "prune" in manifest and "__pycache__" in manifest
