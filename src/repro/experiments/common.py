@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..config import SimulationConfig, paper_config
+from ..obs.capture import ObsUnit, emit_unit, obs_fingerprint
 from ..protocols import PROTOCOLS
 from ..protocols.rost import RostProtocol
 from ..sim.rng import RngRegistry
@@ -41,6 +42,13 @@ DEFAULT_SINGLE_SIZE = 8000
 _workload_cache: Dict[tuple, object] = {}
 _churn_cache: Dict[tuple, ChurnRunResult] = {}
 _recovery_cache: Dict[tuple, RecoveryRunResult] = {}
+# Observability units captured alongside cached runs, same keys as the
+# run caches.  A cache hit must *re-emit* the stored unit: with --jobs 1
+# a run shared between figures executes once, while with --jobs 4 each
+# figure's worker runs it separately — replaying the unit keeps the
+# merged trace/metrics byte-identical across the two.
+_churn_obs: Dict[tuple, ObsUnit] = {}
+_recovery_obs: Dict[tuple, ObsUnit] = {}
 
 
 def clear_caches() -> None:
@@ -54,6 +62,8 @@ def clear_caches() -> None:
     _workload_cache.clear()
     _churn_cache.clear()
     _recovery_cache.clear()
+    _churn_obs.clear()
+    _recovery_obs.clear()
 
 
 @dataclass(frozen=True)
@@ -134,6 +144,7 @@ def churn_run(
 ) -> ChurnRunResult:
     """One (cached) churn run."""
     checked = _invariants_enabled()
+    obs_fp = obs_fingerprint()
     key = (
         "churn",
         protocol_name,
@@ -143,9 +154,13 @@ def churn_run(
         switch_interval_s,
         tuple(sorted((rost_flags or {}).items())),
         checked,
+        obs_fp,
     )
     cached = _churn_cache.get(key)
     if cached is not None:
+        unit = _churn_obs.get(key)
+        if unit is not None:
+            emit_unit(unit)
         return cached
     config = settings.config(population)
     if switch_interval_s is not None:
@@ -161,8 +176,26 @@ def churn_run(
         probe=probe,
         check_invariants=checked,
     )
+    attachment = None
+    if any(obs_fp):
+        from ..obs.attach import ObsAttachment
+
+        attachment = ObsAttachment(
+            meta={
+                "kind": "churn",
+                "protocol": protocol_name,
+                "population": population,
+                "seed": settings.seed,
+                "scale": settings.scale,
+                "switch_interval_s": switch_interval_s,
+            }
+        ).attach(sim)
     result = sim.run()
     _churn_cache[key] = result
+    if attachment is not None:
+        unit = attachment.finalize(result)
+        _churn_obs[key] = unit
+        emit_unit(unit)
     return result
 
 
@@ -175,6 +208,7 @@ def recovery_run(
 ) -> RecoveryRunResult:
     """One (cached) recovery run evaluating a grid of schemes."""
     checked = _invariants_enabled()
+    obs_fp = obs_fingerprint()
     key = (
         "recovery",
         protocol_name,
@@ -183,9 +217,13 @@ def recovery_run(
         tuple(s.name for s in schemes),
         replica,
         checked,
+        obs_fp,
     )
     cached = _recovery_cache.get(key)
     if cached is not None:
+        unit = _recovery_obs.get(key)
+        if unit is not None:
+            emit_unit(unit)
         return cached
     config = settings.config(population)
     if replica:
@@ -199,8 +237,26 @@ def recovery_run(
         oracle=oracle,
         check_invariants=checked,
     )
+    attachment = None
+    if any(obs_fp):
+        from ..obs.attach import ObsAttachment
+
+        attachment = ObsAttachment(
+            meta={
+                "kind": "recovery",
+                "protocol": protocol_name,
+                "population": population,
+                "seed": config.seed,
+                "scale": settings.scale,
+                "replica": replica,
+            }
+        ).attach(sim)
     result = sim.run()
     _recovery_cache[key] = result
+    if attachment is not None:
+        unit = attachment.finalize(result)
+        _recovery_obs[key] = unit
+        emit_unit(unit)
     return result
 
 

@@ -98,4 +98,8 @@ def run_faults_campaign(
         title=f"Fault campaign {campaign.name!r}",
         table=report.table,
         data=report.data,
+        # The campaign fans its own jobs out (each under a nested
+        # capture), so the merged artifacts ride the report, not the
+        # ambient capture — forward them onto the experiment result.
+        artifacts=dict(report.artifacts),
     )

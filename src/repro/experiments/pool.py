@@ -34,6 +34,8 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..obs.capture import apply_obs_env, job_capture, obs_env
+from ..obs.profile import record_stage, stage_timer
 from ..topology.cache import ENV_CACHE_DIR
 from .registry import ExperimentResult, run_experiment
 
@@ -69,15 +71,31 @@ class ExperimentJob:
 
 
 def execute_job(job: ExperimentJob) -> ExperimentResult:
-    """Run one job in the current process (also the worker entry point)."""
-    return run_experiment(
-        job.experiment_id, scale=job.scale, seed=job.seed, **dict(job.kwargs)
-    )
+    """Run one job in the current process (also the worker entry point).
+
+    This is the single chokepoint both the worker path and the
+    in-process path go through, so observability artifacts (trace lines,
+    metrics/profile units — see :mod:`repro.obs.capture`) are captured
+    here and attached to the result regardless of where the job ran.
+    """
+    with job_capture() as capture:
+        result = run_experiment(
+            job.experiment_id, scale=job.scale, seed=job.seed, **dict(job.kwargs)
+        )
+    if capture is not None:
+        artifacts = capture.artifacts()
+        if artifacts:
+            result.artifacts.update(artifacts)
+    return result
 
 
-def _worker_init(cache_dir: Optional[str]) -> None:
+def _worker_init(cache_dir: Optional[str], obs_flags: dict) -> None:
     if cache_dir:
         os.environ[ENV_CACHE_DIR] = cache_dir
+    # Re-export the observability flags explicitly: with the fork start
+    # method they are inherited anyway, but spawn-based platforms would
+    # otherwise silently drop tracing in workers.
+    apply_obs_env(obs_flags)
 
 
 class ExperimentPool:
@@ -96,8 +114,27 @@ class ExperimentPool:
         if not jobs:
             return []
         if self.jobs == 1 or len(jobs) == 1:
-            return [execute_job(job) for job in jobs]
+            clock = stage_timer()
+            results = [execute_job(job) for job in jobs]
+            record_stage("pool.serial", clock())
+            return results
         return self._run_parallel(jobs)
+
+    def _retry_in_process(self, job: ExperimentJob) -> ExperimentResult:
+        """Retry a crashed or wedged job in the parent process.
+
+        The retry re-runs the job from scratch under a fresh artifact
+        capture (via :func:`execute_job`), so any trace/metrics artifacts
+        the dead worker produced — and which died with it — are re-emitted
+        in full on the retried result.  The merged trace is therefore
+        byte-identical to a run in which the worker never crashed.
+        """
+        self.retried_jobs += 1
+        clock = stage_timer()
+        try:
+            return execute_job(job)
+        finally:
+            record_stage("pool.retry", clock())
 
     def _run_parallel(self, jobs: List[ExperimentJob]) -> List[ExperimentResult]:
         cache_dir = os.environ.get(ENV_CACHE_DIR) or None
@@ -109,10 +146,13 @@ class ExperimentPool:
             executor = ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(jobs)),
                 initializer=_worker_init,
-                initargs=(cache_dir,),
+                initargs=(cache_dir, obs_env()),
             )
             try:
+                clock = stage_timer()
                 futures = [executor.submit(execute_job, job) for job in jobs]
+                record_stage("pool.submit", clock())
+                clock = stage_timer()
                 results: List[ExperimentResult] = []
                 for job, future in zip(jobs, futures):
                     try:
@@ -120,8 +160,8 @@ class ExperimentPool:
                     except (BrokenExecutor, FutureTimeoutError, OSError):
                         # Crashed or wedged worker: retry once, in-process.
                         future.cancel()
-                        self.retried_jobs += 1
-                        results.append(execute_job(job))
+                        results.append(self._retry_in_process(job))
+                record_stage("pool.gather", clock())
                 return results
             finally:
                 executor.shutdown(wait=False, cancel_futures=True)

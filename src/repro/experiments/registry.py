@@ -16,6 +16,11 @@ class ExperimentResult:
     table: str
     #: Raw series keyed by a descriptive name.
     data: Dict[str, object] = field(default_factory=dict)
+    #: Observability payloads captured while the experiment ran (keys
+    #: ``trace`` / ``metrics`` / ``profile``, see :mod:`repro.obs`).
+    #: Populated by the pool chokepoint, merged by the runner in
+    #: submission order; empty unless an obs channel is enabled.
+    artifacts: Dict[str, object] = field(default_factory=dict)
 
     def __str__(self) -> str:
         return self.table

@@ -81,6 +81,7 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--job-timeout", type=float, default=None)
     faults.add_argument("--out", type=str, default=None)
     faults.add_argument("--json", type=str, default=None)
+    _add_obs_arguments(faults)
     return parser
 
 
@@ -130,6 +131,36 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="run every simulation under the strict runtime invariant "
         "checker (see docs/invariants.md); the first violation aborts",
+    )
+    _add_obs_arguments(parser)
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a JSONL trace of every observed run to PATH "
+        "(see docs/observability.md); byte-identical at any --jobs value",
+    )
+    parser.add_argument(
+        "--trace-events",
+        action="store_true",
+        help="include one trace record per dispatched engine event "
+        "(high volume; implies --trace semantics for record content)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect per-subsystem metrics registries and report their "
+        "aggregated totals (also exported under _obs_metrics in --json)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute wall time per event type and pool stage; printed "
+        "as a report section (never written into the trace or JSON)",
     )
 
 
@@ -192,10 +223,53 @@ def _iter_results(batch: List[ExperimentJob], jobs: int, timeout_s):
         yield from run_jobs(batch, parallel_jobs=jobs, timeout_s=timeout_s)
 
 
+class _ArtifactCollector:
+    """Merges per-result obs artifacts in submission order."""
+
+    def __init__(self) -> None:
+        self.trace_lines: List[str] = []
+        self.metrics_units: List[dict] = []
+        self.profile_units: List[dict] = []
+
+    def collect(self, result) -> None:
+        artifacts = getattr(result, "artifacts", None) or {}
+        self.trace_lines.extend(artifacts.get("trace", []))
+        self.metrics_units.extend(artifacts.get("metrics", []))
+        self.profile_units.extend(artifacts.get("profile", []))
+
+    def emit_sections(self, args, emitter: _Emitter, json_data: dict) -> None:
+        """Write the trace file and print metrics/profile sections.
+
+        The trace and metrics outputs are deterministic; the profile
+        section carries wall times, so it goes to stdout/--out only and
+        never into --json or the trace.
+        """
+        if getattr(args, "trace", None):
+            from ..obs.trace import write_trace_lines
+
+            write_trace_lines(args.trace, self.trace_lines)
+            emitter.emit(
+                f"[trace: {len(self.trace_lines)} records -> {args.trace}]"
+            )
+        if getattr(args, "metrics", False):
+            from ..obs.metrics import aggregate_units, render_metrics_section
+
+            totals = aggregate_units(self.metrics_units)
+            emitter.emit(render_metrics_section(totals))
+            json_data["_obs_metrics"] = totals
+        if getattr(args, "profile", False):
+            from ..obs.profile import drain_stages, render_profile_section
+
+            emitter.emit(
+                render_profile_section(self.profile_units, drain_stages())
+            )
+
+
 def _run_ids(ids: List[str], args) -> int:
     jobs = resolve_jobs(args.jobs)
     emitter = _Emitter(args.out)
     json_data = {}
+    collector = _ArtifactCollector()
     segment_started = time.time()
     if args.replicas > 1:
         from .replication import merge_replicas
@@ -208,7 +282,11 @@ def _run_ids(ids: List[str], args) -> int:
         ]
         results = _iter_results(batch, jobs, args.job_timeout)
         for experiment_id in ids:
-            replicas = [next(results) for _ in seeds]
+            replicas = []
+            for _ in seeds:
+                result = next(results)
+                collector.collect(result)
+                replicas.append(result)
             replicated = merge_replicas(experiment_id, seeds, replicas)
             emitter.emit(str(replicated))
             json_data[experiment_id] = {
@@ -226,6 +304,7 @@ def _run_ids(ids: List[str], args) -> int:
         ]
         results = _iter_results(batch, jobs, args.job_timeout)
         for experiment_id, result in zip(ids, results):
+            collector.collect(result)
             emitter.emit(result.table)
             json_data[experiment_id] = result.data
             if args.svg:
@@ -233,6 +312,7 @@ def _run_ids(ids: List[str], args) -> int:
             elapsed = time.time() - segment_started
             segment_started = time.time()
             emitter.emit(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+    collector.emit_sections(args, emitter, json_data)
     if args.json:
         _atomic_write(
             args.json, json.dumps(json_data, indent=2, default=str)
@@ -253,6 +333,38 @@ def _write_svg(result, directory: str) -> None:
         handle.write(chart)
 
 
+def _set_obs_environment(args) -> dict:
+    """Export the obs CLI flags as environment variables.
+
+    Like ``--check-invariants``, the flags must reach simulations built
+    deep inside cached helpers and pool workers, so they travel through
+    the environment.  Returns the previous values so ``main`` can restore
+    them (keeps repeated in-process invocations — tests — independent).
+    """
+    from ..obs.capture import ENV_METRICS, ENV_PROFILE, ENV_TRACE, ENV_TRACE_EVENTS
+
+    wanted = {
+        ENV_TRACE: bool(getattr(args, "trace", None)),
+        ENV_TRACE_EVENTS: bool(getattr(args, "trace_events", False)),
+        ENV_METRICS: bool(getattr(args, "metrics", False)),
+        ENV_PROFILE: bool(getattr(args, "profile", False)),
+    }
+    saved = {}
+    for name, enabled in wanted.items():
+        if enabled:
+            saved[name] = os.environ.get(name)
+            os.environ[name] = "1"
+    return saved
+
+
+def _restore_environment(saved: dict) -> None:
+    for name, old in saved.items():
+        if old is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = old
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if getattr(args, "check_invariants", False) and args.command in ("run", "all"):
@@ -267,12 +379,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{experiment.title}"
             )
         return 0
-    if args.command == "faults_campaign":
-        return _run_faults_campaign(args)
-    if args.command == "run":
-        get_experiment(args.experiment_id)  # fail fast on unknown ids
-        return _run_ids([args.experiment_id], args)
-    return _run_ids([e.experiment_id for e in list_experiments()], args)
+    saved_env = _set_obs_environment(args)
+    try:
+        if args.command == "faults_campaign":
+            return _run_faults_campaign(args)
+        if args.command == "run":
+            get_experiment(args.experiment_id)  # fail fast on unknown ids
+            return _run_ids([args.experiment_id], args)
+        return _run_ids([e.experiment_id for e in list_experiments()], args)
+    finally:
+        _restore_environment(saved_env)
 
 
 def _run_faults_campaign(args) -> int:
@@ -297,6 +413,9 @@ def _run_faults_campaign(args) -> int:
             f"invariants: {violations or 0} violation(s) across {runs} "
             f"checked run(s)"
         )
+    collector = _ArtifactCollector()
+    collector.collect(report)
+    collector.emit_sections(args, emitter, report.data)
     if args.json:
         _atomic_write(args.json, json.dumps(report.data, indent=2, default=str))
     return 1 if violations else 0

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import paper_config
 from ..errors import FaultError
+from ..obs.capture import emit_unit, obs_active
 from ..metrics.collectors import ResilienceMetrics
 from ..metrics.report import render_table
 from ..recovery.schemes import cer_scheme, single_source_scheme
@@ -285,8 +286,24 @@ def run_scenario(
     resilience = ResilienceMetrics(config.warmup_s, config.horizon_s)
     injector = FaultInjector(FaultSchedule(seed=seed, faults=scenario.faults))
     injector.bind(sim.churn, resilience=resilience)
+    attachment = None
+    if obs_active():
+        from ..obs.attach import ObsAttachment
+
+        attachment = ObsAttachment(
+            meta={
+                "kind": "recovery",
+                "scenario": scenario.name,
+                "protocol": protocol_name,
+                "population": spec.population,
+                "seed": seed,
+                "scale": scale,
+            }
+        ).attach(sim)
     result = sim.run()
     resilience.finish(config.horizon_s)
+    if attachment is not None:
+        emit_unit(attachment.finalize(result))
 
     churn_metrics = result.churn.metrics
     schemes = {}
@@ -352,6 +369,9 @@ class CampaignReport:
 
     table: str
     data: dict = field(default_factory=dict)
+    #: Observability payloads merged from every run in submission order
+    #: (keys ``trace`` / ``metrics`` / ``profile``; see :mod:`repro.obs`).
+    artifacts: dict = field(default_factory=dict)
 
     def __str__(self) -> str:
         return self.table
@@ -401,7 +421,11 @@ def run_campaign(
     ]
     results = run_jobs(batch, parallel_jobs=jobs, timeout_s=timeout_s)
     runs = [r.data for r in results]
-    return build_report(spec, scale=scale, seeds=list(seeds), runs=runs)
+    report = build_report(spec, scale=scale, seeds=list(seeds), runs=runs)
+    for result in results:
+        for key, payload in result.artifacts.items():
+            report.artifacts.setdefault(key, []).extend(payload)
+    return report
 
 
 def build_report(

@@ -1,0 +1,155 @@
+"""Trace record schemas and validation.
+
+Every line a :class:`~repro.obs.trace.TraceWriter` emits is one JSON
+object with a ``type`` field naming its record type.  The schema is
+deliberately strict — unknown fields are rejected — because the trace
+channel's contract is *virtual-time determinism*: a wall-clock field
+sneaking into a record would silently break byte-identity across
+``--jobs`` values and repeat runs.  Wall-time data belongs in the
+profile channel (:mod:`repro.obs.profile`), which has no schema here by
+design.
+
+Record types (full field semantics in ``docs/observability.md``):
+
+``run_start``      one per observed simulation, emitted at attach time
+``event``          one per dispatched engine event (opt-in, high volume)
+``fault``          a fault-campaign timer fired (label ``fault:*``)
+``switch``         a tree restructuring op (ROST swap or promotion)
+``disruption``     a member failed abruptly, detaching a subtree
+``episode_open``   a disrupted child entered a recovery episode
+``episode_close``  an orphan re-attached; its episode ended
+``run_end``        one per observed simulation, with run totals
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Tuple
+
+TRACE_SCHEMA_VERSION = 1
+
+_NUM = (int, float)
+
+# type -> {field: allowed types}; every field listed here is required.
+_REQUIRED: Dict[str, Dict[str, Tuple[type, ...]]] = {
+    "run_start": {
+        "v": (int,),
+        "kind": (str,),
+        "protocol": (str,),
+        "population": (int,),
+        "seed": (int,),
+        "horizon_s": _NUM,
+    },
+    "event": {"t": _NUM, "seq": (int,), "label": (str,), "priority": (int,)},
+    "fault": {"t": _NUM, "label": (str,)},
+    "switch": {"t": _NUM, "op": (str,), "member": (int,)},
+    "disruption": {
+        "t": _NUM,
+        "cause": (str,),
+        "failed": (int,),
+        "subtree_size": (int,),
+        "in_window": (bool,),
+        "co_failed": (list,),
+    },
+    "episode_open": {"t": _NUM, "member": (int,), "cause": (str,)},
+    "episode_close": {"t": _NUM, "member": (int,)},
+    "run_end": {
+        "t": _NUM,
+        "events_processed": (int,),
+        "disruptions": (int,),
+        "switches": (int,),
+    },
+}
+
+_OPTIONAL: Dict[str, Dict[str, Tuple[type, ...]]] = {
+    "run_start": {
+        "scenario": (str,),
+        "scale": _NUM,
+        "replica": (int,),
+        "switch_interval_s": _NUM,
+    },
+}
+
+_SWITCH_OPS = ("swap", "promote")
+
+RECORD_TYPES = tuple(sorted(_REQUIRED))
+
+
+class TraceSchemaError(ValueError):
+    """A trace record or line violates the schema."""
+
+
+def _check_type(rtype: str, field: str, value: object, allowed: Tuple[type, ...]) -> None:
+    # bool is a subclass of int; reject it anywhere an int/float is
+    # expected so `"seq": true` cannot slip through.
+    if isinstance(value, bool) and bool not in allowed:
+        raise TraceSchemaError(
+            f"{rtype}.{field}: expected {allowed}, got bool"
+        )
+    if not isinstance(value, allowed):
+        raise TraceSchemaError(
+            f"{rtype}.{field}: expected {allowed}, got {type(value).__name__}"
+        )
+
+
+def validate_record(record: object) -> None:
+    """Raise :class:`TraceSchemaError` unless ``record`` is schema-valid."""
+    if not isinstance(record, dict):
+        raise TraceSchemaError(f"record must be an object, got {type(record).__name__}")
+    rtype = record.get("type")
+    if rtype not in _REQUIRED:
+        raise TraceSchemaError(f"unknown record type {rtype!r}")
+    required = _REQUIRED[rtype]
+    optional = _OPTIONAL.get(rtype, {})
+    for field, allowed in required.items():
+        if field not in record:
+            raise TraceSchemaError(f"{rtype}: missing required field {field!r}")
+        _check_type(rtype, field, record[field], allowed)
+    for field, value in record.items():
+        if field == "type" or field in required:
+            continue
+        if field not in optional:
+            raise TraceSchemaError(f"{rtype}: unexpected field {field!r}")
+        _check_type(rtype, field, value, optional[field])
+    if rtype == "run_start" and record["v"] != TRACE_SCHEMA_VERSION:
+        raise TraceSchemaError(
+            f"run_start.v: schema version {record['v']} != {TRACE_SCHEMA_VERSION}"
+        )
+    if rtype == "switch" and record["op"] not in _SWITCH_OPS:
+        raise TraceSchemaError(f"switch.op: {record['op']!r} not in {_SWITCH_OPS}")
+    if rtype == "disruption":
+        co_failed = record["co_failed"]
+        if any(isinstance(m, bool) or not isinstance(m, int) for m in co_failed):
+            raise TraceSchemaError("disruption.co_failed: members must be ints")
+        if sorted(co_failed) != co_failed:
+            # Sorted co-failure sets are part of the determinism contract:
+            # the source set is unordered, so emission must canonicalize.
+            raise TraceSchemaError("disruption.co_failed: must be sorted")
+
+
+def validate_line(line: str) -> Dict[str, object]:
+    """Parse and validate one JSONL line; returns the record."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceSchemaError(f"invalid JSON: {exc}") from exc
+    validate_record(record)
+    return record
+
+
+def validate_trace_lines(lines: Iterable[str]) -> int:
+    """Validate an entire trace; returns the number of records.
+
+    Errors are prefixed with the 1-based line number so a failed CI
+    validation pass points straight at the offending record.
+    """
+    count = 0
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            raise TraceSchemaError(f"line {lineno}: blank line in trace")
+        try:
+            validate_line(line)
+        except TraceSchemaError as exc:
+            raise TraceSchemaError(f"line {lineno}: {exc}") from None
+        count += 1
+    return count

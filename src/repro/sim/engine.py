@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Optional
 
 from ..errors import SimulationError
@@ -30,6 +31,11 @@ class Simulator:
         #: per event; used by :mod:`repro.invariants`.
         self.trace_pre: Optional[Callable[[Event], None]] = None
         self.trace_post: Optional[Callable[[Event], None]] = None
+        #: Optional profiling hook: ``profile(event, wall_s)`` runs after
+        #: each action with its wall-clock duration in seconds.  ``None``
+        #: (the default) keeps the dispatch loop free of any timing calls;
+        #: used by :mod:`repro.obs` for per-event-type attribution.
+        self.profile: Optional[Callable[[Event, float], None]] = None
 
     @property
     def event_queue(self) -> EventQueue:
@@ -104,7 +110,12 @@ class Simulator:
                 self._events_processed += 1
                 if self.trace_pre is not None:
                     self.trace_pre(event)
-                event.action()
+                if self.profile is None:
+                    event.action()
+                else:
+                    started = perf_counter()
+                    event.action()
+                    self.profile(event, perf_counter() - started)
                 if self.trace_post is not None:
                     self.trace_post(event)
             self._now = end_time
@@ -126,7 +137,12 @@ class Simulator:
                 self._events_processed += 1
                 if self.trace_pre is not None:
                     self.trace_pre(event)
-                event.action()
+                if self.profile is None:
+                    event.action()
+                else:
+                    started = perf_counter()
+                    event.action()
+                    self.profile(event, perf_counter() - started)
                 if self.trace_post is not None:
                     self.trace_post(event)
                 fired += 1

@@ -59,3 +59,27 @@ def test_manifest_excludes_bytecode_from_sdists():
     manifest = (REPO_ROOT / "MANIFEST.in").read_text()
     assert "global-exclude *.py[cod]" in manifest
     assert "prune" in manifest and "__pycache__" in manifest
+
+
+def test_no_stray_trace_files_tracked():
+    """The golden fixtures are the only .jsonl files that may be tracked;
+    trace output from local runs must never land in the repository."""
+    offenders = [
+        path
+        for path in tracked_files()
+        if path.endswith(".jsonl") and not path.startswith("tests/golden/")
+    ]
+    assert offenders == [], f"stray trace files tracked: {offenders}"
+
+
+def test_gitignore_covers_trace_output():
+    ignored = (REPO_ROOT / ".gitignore").read_text().splitlines()
+    for required in ("*.trace.jsonl", "*.jsonl.tmp-*"):
+        assert required in ignored, f".gitignore is missing {required!r}"
+
+
+def test_manifest_ships_goldens_but_not_trace_output():
+    manifest = (REPO_ROOT / "MANIFEST.in").read_text()
+    assert "recursive-include tests/golden *.jsonl" in manifest
+    assert "global-exclude *.trace.jsonl" in manifest
+    assert "global-exclude *.jsonl.tmp-*" in manifest

@@ -1,0 +1,129 @@
+"""Metrics registry, null instruments, and cross-unit aggregation."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_INSTRUMENT,
+    SUBSYSTEMS,
+    MetricsRegistry,
+    aggregate_units,
+    render_metrics_section,
+)
+
+
+def test_counter_gauge_histogram_roundtrip():
+    registry = MetricsRegistry()
+    events = registry.counter("sim", "events_processed")
+    events.inc()
+    events.inc(41)
+    attached = registry.gauge("overlay", "final_attached")
+    attached.set(37)
+    attached.set(39)
+    subtree = registry.histogram("overlay", "disruption_subtree_size")
+    subtree.observe(1)
+    subtree.observe(5)
+    subtree.observe(2)
+
+    snap = registry.snapshot()
+    assert snap["counters"] == {"sim.events_processed": 42}
+    assert snap["gauges"] == {"overlay.final_attached": 39}
+    hist = snap["histograms"]["overlay.disruption_subtree_size"]
+    assert hist == {"count": 3, "total": 8, "min": 1, "max": 5}
+
+
+def test_snapshot_keys_are_sorted():
+    registry = MetricsRegistry()
+    registry.counter("sim", "zulu").inc()
+    registry.counter("faults", "alpha").inc()
+    registry.counter("overlay", "mike").inc()
+    assert list(registry.snapshot()["counters"]) == [
+        "faults.alpha",
+        "overlay.mike",
+        "sim.zulu",
+    ]
+
+
+def test_same_name_returns_same_instrument():
+    registry = MetricsRegistry()
+    a = registry.counter("sim", "events_processed")
+    b = registry.counter("sim", "events_processed")
+    a.inc()
+    b.inc()
+    assert registry.snapshot()["counters"]["sim.events_processed"] == 2
+
+
+def test_unknown_subsystem_rejected():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="subsystem"):
+        registry.counter("kitchen", "sinks")
+    assert "experiments" in SUBSYSTEMS  # pool/runner metrics have a home
+
+
+def test_null_instrument_is_inert():
+    NULL_INSTRUMENT.inc()
+    NULL_INSTRUMENT.inc(10)
+    NULL_INSTRUMENT.set(99)
+    NULL_INSTRUMENT.observe(3.5)
+    assert NULL_INSTRUMENT.value == 0
+
+
+def _unit(counters=None, histograms=None):
+    # Shape of one entry in an ``artifacts["metrics"]`` list: the unit's
+    # meta merged with its registry snapshot.
+    return {
+        "meta": {"kind": "churn"},
+        "counters": counters or {},
+        "gauges": {},
+        "histograms": histograms or {},
+    }
+
+
+def test_aggregate_units_sums_counters_and_merges_histograms():
+    units = [
+        _unit(
+            counters={"sim.events_processed": 10, "rost.switches": 2},
+            histograms={
+                "overlay.disruption_subtree_size": {
+                    "count": 2,
+                    "total": 4,
+                    "min": 1,
+                    "max": 3,
+                }
+            },
+        ),
+        _unit(
+            counters={"sim.events_processed": 5},
+            histograms={
+                "overlay.disruption_subtree_size": {
+                    "count": 1,
+                    "total": 7,
+                    "min": 7,
+                    "max": 7,
+                }
+            },
+        ),
+    ]
+    totals = aggregate_units(units)
+    assert totals["units"] == 2
+    assert totals["counters"] == {"sim.events_processed": 15, "rost.switches": 2}
+    assert totals["histograms"]["overlay.disruption_subtree_size"] == {
+        "count": 3,
+        "total": 11,
+        "min": 1,
+        "max": 7,
+    }
+
+
+def test_aggregate_units_tolerates_bare_units():
+    bare = {"meta": {"kind": "churn"}}
+    totals = aggregate_units([bare, _unit(counters={"sim.events_processed": 1})])
+    assert totals["units"] == 2
+    assert totals["counters"] == {"sim.events_processed": 1}
+
+
+def test_render_metrics_section_smoke():
+    totals = aggregate_units([_unit(counters={"sim.events_processed": 7})])
+    text = render_metrics_section(totals)
+    assert "== metrics (1 runs) ==" in text
+    assert "sim.events_processed" in text
+    assert "7" in text

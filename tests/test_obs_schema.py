@@ -1,0 +1,135 @@
+"""Strict validation of every trace record type (repro.obs.schema)."""
+
+import json
+
+import pytest
+
+from repro.obs.schema import (
+    RECORD_TYPES,
+    TRACE_SCHEMA_VERSION,
+    TraceSchemaError,
+    validate_line,
+    validate_record,
+    validate_trace_lines,
+)
+
+VALID = {
+    "run_start": {
+        "type": "run_start",
+        "v": TRACE_SCHEMA_VERSION,
+        "kind": "churn",
+        "protocol": "rost",
+        "population": 40,
+        "seed": 9,
+        "horizon_s": 300.0,
+    },
+    "event": {"type": "event", "t": 1.5, "seq": 3, "label": "tick", "priority": 0},
+    "fault": {"type": "fault", "t": 2.0, "label": "fault:outage"},
+    "switch": {"type": "switch", "t": 3.0, "op": "swap", "member": 7},
+    "disruption": {
+        "type": "disruption",
+        "t": 4.0,
+        "cause": "failure",
+        "failed": 7,
+        "subtree_size": 3,
+        "in_window": True,
+        "co_failed": [2, 7, 9],
+    },
+    "episode_open": {"type": "episode_open", "t": 4.0, "member": 9, "cause": "failure"},
+    "episode_close": {"type": "episode_close", "t": 5.0, "member": 9},
+    "run_end": {
+        "type": "run_end",
+        "t": 300.0,
+        "events_processed": 1234,
+        "disruptions": 5,
+        "switches": 2,
+    },
+}
+
+
+@pytest.mark.parametrize("record_type", sorted(RECORD_TYPES))
+def test_valid_record_per_type(record_type):
+    validate_record(VALID[record_type])
+    validate_line(json.dumps(VALID[record_type], separators=(",", ":")))
+
+
+def test_valid_covers_all_record_types():
+    assert set(VALID) == set(RECORD_TYPES)
+
+
+def test_optional_run_start_fields_accepted():
+    record = dict(VALID["run_start"])
+    record.update(
+        scenario="stub-outage", scale=0.1, replica=2, switch_interval_s=30.0
+    )
+    validate_record(record)
+
+
+def _rejects(record):
+    with pytest.raises(TraceSchemaError):
+        validate_record(record)
+
+
+def test_rejects_unknown_type():
+    _rejects({"type": "mystery", "t": 1.0})
+
+
+def test_rejects_missing_type():
+    _rejects({"t": 1.0, "label": "x"})
+
+
+def test_rejects_missing_required_field():
+    record = dict(VALID["event"])
+    del record["seq"]
+    _rejects(record)
+
+
+def test_rejects_unknown_field():
+    _rejects({**VALID["fault"], "wall_s": 0.001})
+
+
+def test_rejects_bool_masquerading_as_int():
+    _rejects({**VALID["event"], "seq": True})
+
+
+def test_rejects_string_for_float():
+    _rejects({**VALID["fault"], "t": "2.0"})
+
+
+def test_rejects_unsorted_co_failed():
+    _rejects({**VALID["disruption"], "co_failed": [9, 2, 7]})
+
+
+def test_rejects_non_int_co_failed():
+    _rejects({**VALID["disruption"], "co_failed": [2, "7"]})
+
+
+def test_rejects_bad_switch_op():
+    _rejects({**VALID["switch"], "op": "teleport"})
+
+
+def test_rejects_wrong_schema_version():
+    _rejects({**VALID["run_start"], "v": TRACE_SCHEMA_VERSION + 1})
+
+
+def test_rejects_non_object_line():
+    with pytest.raises(TraceSchemaError):
+        validate_line("[1,2,3]")
+
+
+def test_rejects_invalid_json_line():
+    with pytest.raises(TraceSchemaError):
+        validate_line("{not json")
+
+
+def test_validate_trace_lines_reports_line_number():
+    lines = [
+        json.dumps(VALID["fault"], separators=(",", ":")),
+        json.dumps({"type": "bogus"}, separators=(",", ":")),
+    ]
+    with pytest.raises(TraceSchemaError, match="line 2"):
+        validate_trace_lines(lines)
+
+
+def test_schema_error_is_value_error():
+    assert issubclass(TraceSchemaError, ValueError)
