@@ -150,4 +150,7 @@ def test_event_queue_throughput_concurrent(benchmark):
         sim.run()
         return fired[0]
 
-    assert benchmark(pump) == 20000
+    # When the cap is reached the 999 other timers still pending in the
+    # heap drain (firing once each without rescheduling), so the total
+    # fired count is total + timers - 1.
+    assert benchmark(pump) == 20000 + 1000 - 1

@@ -81,15 +81,23 @@ def bench_kernel_concurrent(timers: int = 2_000, total: int = 200_000) -> float:
 
 def bench_figures(scale: float, seed: int) -> Dict[str, Dict[str, float]]:
     from repro.experiments import common, list_experiments
+    from repro.sim.engine import total_events_processed
 
     figures: Dict[str, Dict[str, float]] = {}
     for experiment in list_experiments():
         common.clear_caches()
+        events_before = total_events_processed()
         started = time.perf_counter()
         experiment.run(scale=scale, seed=seed)
         wall = time.perf_counter() - started
-        figures[experiment.experiment_id] = {"wall_s": round(wall, 3)}
-        print(f"  {experiment.experiment_id:16s} {wall:8.2f}s", flush=True)
+        # In-process event count; a --jobs > 1 run dispatches most events
+        # in workers, so this is only the parent's share there (meta.jobs
+        # records which regime produced the numbers).
+        events = total_events_processed() - events_before
+        figures[experiment.experiment_id] = {"wall_s": round(wall, 3),
+                                             "events": events}
+        print(f"  {experiment.experiment_id:16s} {wall:8.2f}s "
+              f"{events:>10d} events", flush=True)
     common.clear_caches()
     return figures
 
@@ -121,6 +129,10 @@ def main(argv=None) -> int:
         print(f"figure suite at --scale {args.scale} ...", flush=True)
         figures = bench_figures(args.scale, args.seed)
 
+    from repro.experiments.pool import resolve_jobs
+    from repro.obs.capture import obs_env
+
+    obs_flags = obs_env()
     report = {
         "meta": {
             "schema_version": SCHEMA_VERSION,
@@ -130,6 +142,12 @@ def main(argv=None) -> int:
             "cpu_count": os.cpu_count(),
             "scale": args.scale,
             "seed": args.seed,
+            # Comparability guards: a baseline produced with a different
+            # worker count or with observability overhead enabled is not
+            # an apples-to-apples reference.
+            "jobs": resolve_jobs(None),
+            "obs_enabled": bool(obs_flags),
+            "obs_flags": obs_flags,
         },
         "kernel": {
             "chain_events_per_sec": round(chain),

@@ -36,6 +36,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..obs.capture import apply_obs_env, job_capture, obs_env
 from ..obs.profile import record_stage, stage_timer
+from ..topology import shm
 from ..topology.cache import ENV_CACHE_DIR
 from .registry import ExperimentResult, run_experiment
 
@@ -89,9 +90,15 @@ def execute_job(job: ExperimentJob) -> ExperimentResult:
     return result
 
 
-def _worker_init(cache_dir: Optional[str], obs_flags: dict) -> None:
+def _worker_init(
+    cache_dir: Optional[str], obs_flags: dict, shm_session: Optional[str] = None
+) -> None:
     if cache_dir:
         os.environ[ENV_CACHE_DIR] = cache_dir
+    if shm_session:
+        # Join the pool's shared-memory session: the topology cache will
+        # attach published artefacts zero-copy (see repro.topology.shm).
+        os.environ[shm.ENV_SHM_SESSION] = shm_session
     # Re-export the observability flags explicitly: with the fork start
     # method they are inherited anyway, but spawn-based platforms would
     # otherwise silently drop tracing in workers.
@@ -142,11 +149,21 @@ class ExperimentPool:
         if cache_dir is None:
             temp_cache = tempfile.mkdtemp(prefix="repro-topo-cache-")
             cache_dir = temp_cache
+        # Open a shared-memory session for the sweep: workers publish each
+        # distinct underlay once and everyone else attaches zero-copy.
+        # The parent owns the session and sweeps every segment in the
+        # finally below — including segments left by crashed workers (a
+        # retried job simply re-attaches; see repro.topology.shm).
+        shm_session = None
+        prior_session = os.environ.get(shm.ENV_SHM_SESSION)
+        if prior_session is None and shm.shm_available():
+            shm_session = shm.new_session_token()
+            os.environ[shm.ENV_SHM_SESSION] = shm_session
         try:
             executor = ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(jobs)),
                 initializer=_worker_init,
-                initargs=(cache_dir, obs_env()),
+                initargs=(cache_dir, obs_env(), shm_session),
             )
             try:
                 clock = stage_timer()
@@ -166,6 +183,9 @@ class ExperimentPool:
             finally:
                 executor.shutdown(wait=False, cancel_futures=True)
         finally:
+            if shm_session is not None:
+                shm.cleanup_session(shm_session)
+                os.environ.pop(shm.ENV_SHM_SESSION, None)
             if temp_cache is not None:
                 shutil.rmtree(temp_cache, ignore_errors=True)
 

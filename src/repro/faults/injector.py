@@ -86,6 +86,10 @@ class DegradedOracle:
     through the topology cache — is never mutated.
     """
 
+    #: Class attribute (not delegated): delays change as windows open and
+    #: close, so per-edge caches keyed on the oracle must stay disabled.
+    stable_delays = False
+
     def __init__(self, inner, topology):
         self._inner = inner
         self._topology = topology
@@ -119,6 +123,26 @@ class DegradedOracle:
         for domains, f in self._windows:
             if domains is None or du in domains or dv in domains:
                 factor *= f
+        return base * factor
+
+    def delays_from(self, source: int, targets) -> "np.ndarray":
+        """Batched counterpart of :meth:`delay_ms` (same window semantics).
+
+        Applies each window's factor in activation order, exactly like the
+        scalar loop, so the products are bit-identical element-wise.
+        """
+        base = self._inner.delays_from(source, targets)
+        if not self._windows:
+            return base
+        node_domain = self._topology.node_domain
+        du = int(node_domain[source])
+        dv = np.asarray(node_domain)[np.asarray(targets, dtype=np.int64)]
+        factor = np.ones(base.shape, dtype=np.float64)
+        for domains, f in self._windows:
+            if domains is None or du in domains:
+                factor *= f
+            else:
+                factor[np.isin(dv, list(domains))] *= f
         return base * factor
 
 

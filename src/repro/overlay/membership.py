@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Set
 import numpy as np
 
 from ..errors import ProtocolError
+from ..sim.fastrand import BatchedIntegers
 from .node import OverlayNode
 
 
@@ -28,6 +29,10 @@ class MembershipService:
 
     def __init__(self, rng: np.random.Generator):
         self._rng = rng
+        #: Draw-exact batched replacement for the scalar ``integers`` calls
+        #: in the rejection loop (the hottest RNG path in a churn run).
+        #: Falls back transparently when replication is unverified.
+        self._batch = BatchedIntegers(rng)
         self._nodes: List[OverlayNode] = []
         self._index: Dict[int, int] = {}
 
@@ -86,15 +91,31 @@ class MembershipService:
             seen: Set[int] = set()
             attempts = 0
             max_attempts = 8 * k + 32
-            while len(picked) < k and attempts < max_attempts:
-                attempts += 1
-                idx = int(self._rng.integers(0, population))
-                node = self._nodes[idx]
-                if node.member_id in seen:
-                    continue
-                seen.add(node.member_id)
-                if eligible(node):
-                    picked.append(node)
+            if self._batch.begin(population):
+                # Batched draws: identical sequence to the scalar
+                # ``integers`` loop below, ~3x cheaper per draw; ``end``
+                # resyncs the generator to the exact scalar-path state.
+                try:
+                    while len(picked) < k and attempts < max_attempts:
+                        attempts += 1
+                        node = self._nodes[self._batch.next()]
+                        if node.member_id in seen:
+                            continue
+                        seen.add(node.member_id)
+                        if eligible(node):
+                            picked.append(node)
+                finally:
+                    self._batch.end()
+            else:
+                while len(picked) < k and attempts < max_attempts:
+                    attempts += 1
+                    idx = int(self._rng.integers(0, population))
+                    node = self._nodes[idx]
+                    if node.member_id in seen:
+                        continue
+                    seen.add(node.member_id)
+                    if eligible(node):
+                        picked.append(node)
             if len(picked) == k:
                 return picked
         candidates = [n for n in self._nodes if eligible(n)]

@@ -48,6 +48,24 @@ class ProtocolContext:
             return float("inf")
         total = 0.0
         current = node
+        if getattr(self.oracle, "stable_delays", False):
+            # Per-edge delays never change, so each node can memoize its
+            # uplink delay; parent identity is the validity check.  The
+            # walk then costs one float add per hop instead of an oracle
+            # query (service delay is evaluated for every attached member
+            # on every metrics sample).
+            while True:
+                parent = current.parent
+                if parent is None:
+                    return total
+                if current._uplink_parent is parent:
+                    total += current._uplink_delay
+                else:
+                    d = self.delay_ms(current, parent)
+                    current._uplink_parent = parent
+                    current._uplink_delay = d
+                    total += d
+                current = parent
         while current.parent is not None:
             total += self.delay_ms(current, current.parent)
             current = current.parent
@@ -140,16 +158,33 @@ class TreeProtocol(abc.ABC):
         self, node: OverlayNode, candidates: Iterable[OverlayNode]
     ) -> Optional[OverlayNode]:
         """The paper's join rule: among candidates with spare capacity pick
-        the smallest layer, breaking ties by network delay."""
-        best: Optional[OverlayNode] = None
-        best_key = None
+        the smallest layer, breaking ties by network delay.
+
+        Two-phase: find the minimum layer first, then compare delays only
+        among the tied candidates (batched through the oracle).  Delay
+        lookups are pure, so skipping them for non-minimal layers changes
+        nothing; first-occurrence tie-breaking matches the original
+        strict-less scan.
+        """
+        tied: List[OverlayNode] = []
+        best_layer = None
         for candidate in candidates:
             if candidate.spare_degree <= 0 or not candidate.attached:
                 continue
-            key = (candidate.layer, self.ctx.delay_ms(node, candidate))
-            if best_key is None or key < best_key:
-                best, best_key = candidate, key
-        return best
+            layer = candidate.layer
+            if best_layer is None or layer < best_layer:
+                best_layer = layer
+                tied = [candidate]
+            elif layer == best_layer:
+                tied.append(candidate)
+        if not tied:
+            return None
+        if len(tied) == 1:
+            return tied[0]
+        delays = self.ctx.oracle.delays_from(
+            node.underlay_node, [c.underlay_node for c in tied]
+        )
+        return tied[int(np.argmin(delays))]
 
     def attach(self, node: OverlayNode, parent: OverlayNode) -> None:
         """Perform the attachment and account the ACCEPT message."""

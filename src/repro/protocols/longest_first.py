@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from ..overlay.node import OverlayNode
 from .base import TreeProtocol
 
@@ -31,15 +33,27 @@ class LongestFirstProtocol(TreeProtocol):
         return True
 
     def _select_oldest(self, node, candidates) -> Optional[OverlayNode]:
-        best: Optional[OverlayNode] = None
-        best_key = None
+        # Oldest = smallest join time; the root has join time 0 and in
+        # the paper always has spare slots early on.  Ties break toward
+        # network proximity, as in the join rule.  Two-phase like
+        # select_min_depth: delays are computed (batched) only for the
+        # candidates tied on join time.
+        tied = []
+        best_time = None
         for candidate in candidates:
             if candidate.spare_degree <= 0 or not candidate.attached:
                 continue
-            # Oldest = smallest join time; the root has join time 0 and in
-            # the paper always has spare slots early on.  Ties break toward
-            # network proximity, as in the join rule.
-            key = (candidate.join_time, self.ctx.delay_ms(node, candidate))
-            if best_key is None or key < best_key:
-                best, best_key = candidate, key
-        return best
+            t = candidate.join_time
+            if best_time is None or t < best_time:
+                best_time = t
+                tied = [candidate]
+            elif t == best_time:
+                tied.append(candidate)
+        if not tied:
+            return None
+        if len(tied) == 1:
+            return tied[0]
+        delays = self.ctx.oracle.delays_from(
+            node.underlay_node, [c.underlay_node for c in tied]
+        )
+        return tied[int(np.argmin(delays))]

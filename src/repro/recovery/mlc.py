@@ -31,8 +31,13 @@ from ..errors import RecoveryError
 from ..overlay.node import OverlayNode
 
 
-def root_path_ids(node: OverlayNode) -> List[int]:
-    """Member ids from the root down to ``node`` (inclusive)."""
+def naive_root_path_ids(node: OverlayNode) -> List[int]:
+    """Reference implementation: walk the parent chain every call.
+
+    Retained (with :func:`naive_loss_correlation` /
+    :func:`naive_group_loss_correlation`) as the ground truth the property
+    tests check the cached/vectorized paths against.
+    """
     path = [node.member_id]
     current = node.parent
     while current is not None:
@@ -42,10 +47,46 @@ def root_path_ids(node: OverlayNode) -> List[int]:
     return path
 
 
-def loss_correlation(a: OverlayNode, b: OverlayNode) -> int:
-    """w(a, b): number of shared tree edges on the two root paths."""
-    path_a = root_path_ids(a)
-    path_b = root_path_ids(b)
+def _root_path(node: OverlayNode) -> tuple:
+    """Root path of ``node`` as a tuple, memoized against the tree epoch.
+
+    The owning tree bumps a shared epoch cell on every structural
+    mutation; a cache entry is valid iff its snapshot matches.  Rebuilds
+    walk up only to the nearest ancestor with a fresh cache and share
+    that ancestor's tuple as a prefix, so a burst of queries between
+    mutations (one MLC group selection scores dozens of members) costs
+    amortised O(new suffix) instead of O(depth) each.
+    """
+    cell = getattr(node, "_epoch_cell", None)
+    if cell is None:
+        # Node not registered with a tree (or a test double): no epoch to
+        # validate against, fall back to the plain walk.
+        return tuple(naive_root_path_ids(node))
+    epoch = cell[0]
+    if node._path_epoch == epoch:
+        return node._path_cache
+    chain = []
+    current = node
+    while current is not None and current._path_epoch != epoch:
+        chain.append(current)
+        current = current.parent
+    path = current._path_cache if current is not None else ()
+    for n in reversed(chain):
+        path = path + (n.member_id,)
+        n._path_cache = path
+        n._path_epoch = epoch
+    return path
+
+
+def root_path_ids(node: OverlayNode) -> List[int]:
+    """Member ids from the root down to ``node`` (inclusive)."""
+    return list(_root_path(node))
+
+
+def naive_loss_correlation(a: OverlayNode, b: OverlayNode) -> int:
+    """Reference w(a, b): scalar prefix scan over freshly walked paths."""
+    path_a = naive_root_path_ids(a)
+    path_b = naive_root_path_ids(b)
     shared = 0
     # Paths share a prefix starting at the root; each shared non-root hop
     # is a shared edge.
@@ -56,13 +97,49 @@ def loss_correlation(a: OverlayNode, b: OverlayNode) -> int:
     return max(0, shared - 1)
 
 
-def group_loss_correlation(nodes: Sequence[OverlayNode]) -> int:
-    """Pairwise loss-correlation sum the MLC group minimises."""
+def loss_correlation(a: OverlayNode, b: OverlayNode) -> int:
+    """w(a, b): number of shared tree edges on the two root paths."""
+    path_a = _root_path(a)
+    path_b = _root_path(b)
+    shared = 0
+    for ia, ib in zip(path_a, path_b):
+        if ia != ib:
+            break
+        shared += 1
+    return max(0, shared - 1)
+
+
+def naive_group_loss_correlation(nodes: Sequence[OverlayNode]) -> int:
+    """Reference pairwise sum: the O(k² · depth) loop the paper implies."""
     total = 0
     for i in range(len(nodes)):
         for j in range(i + 1, len(nodes)):
-            total += loss_correlation(nodes[i], nodes[j])
+            total += naive_loss_correlation(nodes[i], nodes[j])
     return total
+
+
+def group_loss_correlation(nodes: Sequence[OverlayNode]) -> int:
+    """Pairwise loss-correlation sum the MLC group minimises.
+
+    Vectorized: pad the k root paths into a (k, maxlen) id matrix and
+    count shared prefixes for all pairs at once — prefix length is the
+    run of leading positions where both rows match (cumprod of the
+    elementwise equality), and each pair contributes
+    ``max(prefix - 1, 0)`` shared edges.  Exact integer arithmetic, so
+    the result equals the naive pair loop for any input.
+    """
+    k = len(nodes)
+    if k < 2:
+        return 0
+    paths = [_root_path(n) for n in nodes]
+    maxlen = max(len(p) for p in paths)
+    arr = np.full((k, maxlen), -1, dtype=np.int64)
+    for i, p in enumerate(paths):
+        arr[i, : len(p)] = p
+    eq = (arr[:, None, :] == arr[None, :, :]) & (arr[:, None, :] != -1)
+    prefix = np.cumprod(eq, axis=2).sum(axis=2)
+    w = np.maximum(prefix - 1, 0)
+    return int(np.triu(w, k=1).sum())
 
 
 def group_underlay_correlation(

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import RecoveryError
 from ..sim.engine import Simulator
 from .episode import BackfillSpec, EpisodeOutcome, RepairSource
@@ -84,7 +86,10 @@ class EpisodeSimulator:
         plans: List[tuple] = []
         hops = 0
         if self.striped:
-            mod = [(k % 100) / 100.0 for k in range(self.gap_packets)]
+            # (k % 100) / 100.0 vectorized; the stripe [low, high) picks the
+            # same indices as the scalar scan (the boundary floats are
+            # computed identically, only the comparison loop is batched).
+            mod = (np.arange(self.gap_packets) % 100) / 100.0
             cum = 0.0
             for source in self.sources:
                 start = self.detect_s + hops * self.request_hop_s
@@ -93,9 +98,7 @@ class EpisodeSimulator:
                     continue
                 low = cum
                 high = min(1.0, cum + source.rate_pps / self.packet_rate_pps)
-                assigned = [
-                    k for k in range(self.gap_packets) if low <= mod[k] < high
-                ]
+                assigned = np.nonzero((mod >= low) & (mod < high))[0].tolist()
                 plans.append((source, start, assigned))
                 cum = high
                 if cum >= 1.0:

@@ -493,20 +493,21 @@ class ChurnSimulation:
             self.sim.schedule_at(at, self._sample_tree, label="tree-sample")
 
     def _sample_tree(self) -> None:
-        delays: List[float] = []
-        stretches: List[float] = []
         root_underlay = self.tree.root.underlay_node
-        for node in self.tree.attached_nodes():
-            if node.is_root:
-                continue
-            delay = self.ctx.service_delay_ms(node)
-            delays.append(delay)
-            direct = self.oracle.delay_ms(root_underlay, node.underlay_node)
-            stretches.append(delay / direct if direct > 0 else 1.0)
-        if delays:
-            self.metrics.record_tree_sample(
-                float(np.mean(delays)), float(np.mean(stretches))
-            )
+        sampled = [n for n in self.tree.attached_nodes() if not n.is_root]
+        if not sampled:
+            return
+        delays = [self.ctx.service_delay_ms(node) for node in sampled]
+        directs = self.oracle.delays_from(
+            root_underlay, [n.underlay_node for n in sampled]
+        )
+        stretches = [
+            delay / direct if direct > 0 else 1.0
+            for delay, direct in zip(delays, directs.tolist())
+        ]
+        self.metrics.record_tree_sample(
+            float(np.mean(delays)), float(np.mean(stretches))
+        )
 
     # -- result assembly ---------------------------------------------------------------------
 

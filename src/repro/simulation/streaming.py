@@ -290,21 +290,23 @@ class RecoveryObserver:
         oracle = self.churn.oracle
         members = self.churn.tree.members
         self._record_group_correlation(scheme, group_ids, members)
-        sources = []
-        for member_id in group_ids:
-            node = members.get(member_id)
-            if node is None:
-                continue
-            sources.append(
-                RepairSource(
-                    member_id=member_id,
-                    rate_pps=self.residual_pps(member_id),
-                    has_data=member_id not in affected_ids,
-                    delay_ms=oracle.delay_ms(
-                        requester.underlay_node, node.underlay_node
-                    ),
-                )
+        present = [
+            (member_id, members[member_id])
+            for member_id in group_ids
+            if member_id in members
+        ]
+        delays = oracle.delays_from(
+            requester.underlay_node, [node.underlay_node for _, node in present]
+        )
+        sources = [
+            RepairSource(
+                member_id=member_id,
+                rate_pps=self.residual_pps(member_id),
+                has_data=member_id not in affected_ids,
+                delay_ms=float(delays[i]),
             )
+            for i, (member_id, node) in enumerate(present)
+        ]
         # "A member places the nodes of its recovery group in order of
         # network distance" (Section 4.2).
         sources.sort(key=lambda s: s.delay_ms)

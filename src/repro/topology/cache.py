@@ -35,6 +35,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..config import TopologyConfig
+from . import shm
 from .graph import Graph
 from .routing import DelayOracle
 from .transit_stub import StubDomain, TransitStubTopology, generate_transit_stub
@@ -112,6 +113,7 @@ class TopologyCache:
             OrderedDict()
         )
         self.memory_hits = 0
+        self.shm_hits = 0
         self.disk_hits = 0
         self.misses = 0
 
@@ -141,8 +143,9 @@ class TopologyCache:
     ) -> Tuple[TransitStubTopology, DelayOracle]:
         """The (topology, oracle) pair for ``config``, computed at most once.
 
-        Lookup order: memory LRU, then the disk tier, then a full
-        generate + precompute (which populates both tiers).
+        Lookup order: memory LRU, then the shared-memory tier (zero-copy
+        attach, active only inside a pool session), then the disk tier,
+        then a full generate + precompute (which populates every tier).
         """
         key = topology_cache_key(config)
         cached = self._memory.get(key)
@@ -151,19 +154,61 @@ class TopologyCache:
             self.memory_hits += 1
             return cached
 
-        pair = self._load_from_disk(key, config)
-        if pair is None:
-            self.misses += 1
-            topology = generate_transit_stub(config)
-            pair = (topology, DelayOracle(topology))
-            self._store_to_disk(key, pair)
+        pair = self._load_from_shm(key, config)
+        if pair is not None:
+            self.shm_hits += 1
         else:
-            self.disk_hits += 1
+            pair = self._load_from_disk(key, config)
+            if pair is None:
+                self.misses += 1
+                topology = generate_transit_stub(config)
+                pair = (topology, DelayOracle(topology))
+                self._store_to_disk(key, pair)
+            else:
+                self.disk_hits += 1
+            # First process to materialise the artefact publishes it for
+            # the rest of the pool session (losing the race is fine — the
+            # winner's copy is identical, derived from the same key).
+            self._store_to_shm(key, pair)
 
         self._memory[key] = pair
         while len(self._memory) > self._memory_slots:
             self._memory.popitem(last=False)
         return pair
+
+    # -- shared-memory tier ----------------------------------------------------
+
+    def _load_from_shm(
+        self, key: str, config: TopologyConfig
+    ) -> Optional[Tuple[TransitStubTopology, DelayOracle]]:
+        arrays = shm.attach(key)
+        if arrays is None:
+            return None
+        try:
+            topology = _topology_from_arrays(config, arrays)
+            # copy=False: the oracle's distance matrices stay views into
+            # the shared pages — the whole point of the tier.
+            oracle = DelayOracle.from_matrices(
+                topology,
+                {"intra": arrays["oracle_intra"], "core": arrays["oracle_core"]},
+                copy=False,
+            )
+            return topology, oracle
+        except Exception:
+            # Torn/foreign segment content: fall through to the disk tier.
+            return None
+
+    def _store_to_shm(
+        self, key: str, pair: Tuple[TransitStubTopology, DelayOracle]
+    ) -> None:
+        if not shm.shm_enabled():
+            return
+        topology, oracle = pair
+        arrays = _topology_to_arrays(topology)
+        matrices = oracle.to_matrices()
+        arrays["oracle_intra"] = matrices["intra"]
+        arrays["oracle_core"] = matrices["core"]
+        shm.publish(key, arrays)
 
     # -- disk tier -----------------------------------------------------------
 

@@ -1,0 +1,167 @@
+"""Property tests: vectorized/cached MLC kernels == the naive reference.
+
+``recovery/mlc.py`` keeps the pre-vectorization implementations
+(``naive_root_path_ids`` / ``naive_loss_correlation`` /
+``naive_group_loss_correlation``) as executable ground truth.  Hypothesis
+drives random tree histories — attaches, detaches, rejoins and
+parent-child swaps, interleaved with queries so the epoch-based path
+caches are exercised both warm and invalidated — and every query must
+match the naive walk exactly, including the RNG draw sequence of
+``select_mlc_group``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.overlay.node import OverlayNode
+from repro.overlay.tree import MulticastTree
+from repro.recovery.mlc import (
+    PartialTreeView,
+    group_loss_correlation,
+    loss_correlation,
+    naive_group_loss_correlation,
+    naive_loss_correlation,
+    naive_root_path_ids,
+    root_path_ids,
+    select_mlc_group,
+)
+
+#: Each step: (op selector, parameter draw) — interpreted modulo the
+#: currently applicable population so every history is valid.
+STEPS = st.lists(
+    st.tuples(st.integers(0, 99), st.integers(0, 10**6)),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _build_history(steps):
+    """Replay a random structural history; returns the tree."""
+    root = OverlayNode(0, underlay_node=0, bandwidth=1.0, out_degree_cap=4,
+                       join_time=0.0, is_root=True)
+    tree = MulticastTree(root)
+    next_id = 1
+    detached = []
+    for op, param in steps:
+        attached = [n for n in tree.members.values() if n.attached]
+        if op < 55 or len(attached) < 3:
+            # join: new member under a random attached node with capacity
+            parents = [n for n in attached if n.spare_degree > 0]
+            if not parents:
+                continue
+            node = OverlayNode(next_id, underlay_node=next_id, bandwidth=1.0,
+                               out_degree_cap=param % 4, join_time=float(next_id))
+            next_id += 1
+            tree.add_member(node)
+            tree.attach(node, parents[param % len(parents)])
+        elif op < 70:
+            # detach a non-root subtree
+            candidates = [n for n in attached if not n.is_root]
+            if not candidates:
+                continue
+            node = candidates[param % len(candidates)]
+            tree.detach(node)
+            detached.append(node)
+        elif op < 85 and detached:
+            # reattach a previously detached subtree elsewhere
+            node = detached.pop(param % len(detached))
+            parents = [
+                n for n in tree.members.values()
+                if n.attached and n.spare_degree > 0
+                and n not in node.descendants() and n is not node
+            ]
+            if parents:
+                tree.attach(node, parents[param % len(parents)])
+            else:
+                detached.append(node)
+        else:
+            # swap a node with its (non-root) parent when capacity allows
+            swappable = [
+                n for n in attached
+                if n.parent is not None and not n.parent.is_root
+                and len([c for c in n.parent.children if c is not n]) + 1
+                <= n.out_degree_cap
+            ]
+            if swappable:
+                node = swappable[param % len(swappable)]
+                tree.swap_with_parent(node, overflow_priority=lambda c: c.member_id)
+    return tree
+
+
+@settings(max_examples=60, deadline=None)
+@given(steps=STEPS)
+def test_root_paths_match_naive_across_mutations(steps):
+    tree = _build_history(steps)
+    for node in tree.members.values():
+        assert root_path_ids(node) == naive_root_path_ids(node)
+    # query again (fully warm caches) — still exact
+    for node in tree.members.values():
+        assert root_path_ids(node) == naive_root_path_ids(node)
+
+
+@settings(max_examples=60, deadline=None)
+@given(steps=STEPS, pair_seed=st.integers(0, 2**32 - 1))
+def test_loss_correlation_matches_naive(steps, pair_seed):
+    tree = _build_history(steps)
+    nodes = list(tree.members.values())
+    rng = np.random.default_rng(pair_seed)
+    for _ in range(20):
+        a = nodes[int(rng.integers(0, len(nodes)))]
+        b = nodes[int(rng.integers(0, len(nodes)))]
+        assert loss_correlation(a, b) == naive_loss_correlation(a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(steps=STEPS, group_seed=st.integers(0, 2**32 - 1))
+def test_group_loss_correlation_matches_naive(steps, group_seed):
+    tree = _build_history(steps)
+    nodes = list(tree.members.values())
+    rng = np.random.default_rng(group_seed)
+    k = int(rng.integers(0, min(12, len(nodes)))) + 1
+    picks = rng.choice(len(nodes), size=k, replace=False)
+    group = [nodes[int(i)] for i in picks]
+    assert group_loss_correlation(group) == naive_group_loss_correlation(group)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    steps=STEPS,
+    select_seed=st.integers(0, 2**32 - 1),
+    group_size=st.integers(1, 8),
+)
+def test_select_mlc_group_matches_naive_view(steps, select_seed, group_size):
+    """Algorithm 1 over cached paths == over naive paths, draw for draw.
+
+    The view construction consumes ``root_path_ids`` (the cached kernel);
+    a view built from ``naive_root_path_ids`` must be structurally
+    identical, and identical-seeded selection must return the same group.
+    """
+    tree = _build_history(steps)
+    attached = [n for n in tree.members.values() if n.attached]
+    if len(attached) < 2:
+        return
+
+    view_fast = PartialTreeView.from_members(attached)
+    view_naive = PartialTreeView(naive_root_path_ids(tree.root)[0])
+    for member in attached:
+        path = naive_root_path_ids(member)
+        if len(path) >= 1:
+            view_naive._add_path(path if len(path) >= 2 else path[:1])
+
+    assert sorted(view_fast.member_ids()) == sorted(view_naive.member_ids())
+    for mid in view_fast.member_ids():
+        assert view_fast.children_of(mid) == view_naive.children_of(mid)
+
+    fast = select_mlc_group(
+        view_fast, group_size, np.random.default_rng(select_seed)
+    )
+    naive = select_mlc_group(
+        view_naive, group_size, np.random.default_rng(select_seed)
+    )
+    assert fast == naive

@@ -142,3 +142,69 @@ def test_shared_topology_uses_default_cache():
     pair2 = common.shared_topology(config)
     assert pair1[0] is pair2[0]
     common.clear_caches()
+
+
+def test_truncated_disk_entry_falls_back_to_regeneration(tmp_path):
+    """A half-written (truncated) .npz is a miss, not a crash."""
+    cache = TopologyCache(memory_slots=1, disk_dir=str(tmp_path))
+    cache.get(SMALL)
+    (entry,) = tmp_path.glob("topology-*.npz")
+    payload = entry.read_bytes()
+    entry.write_bytes(payload[: len(payload) // 2])
+
+    fresh = TopologyCache(memory_slots=1, disk_dir=str(tmp_path))
+    topo, oracle = fresh.get(SMALL)
+    assert fresh.misses == 1 and fresh.disk_hits == 0
+    topo_ref = generate_transit_stub(SMALL)
+    _assert_identical(topo_ref, DelayOracle(topo_ref), topo, oracle)
+
+
+def test_empty_disk_entry_falls_back_to_regeneration(tmp_path):
+    cache = TopologyCache(memory_slots=1, disk_dir=str(tmp_path))
+    cache.get(SMALL)
+    (entry,) = tmp_path.glob("topology-*.npz")
+    entry.write_bytes(b"")
+
+    fresh = TopologyCache(memory_slots=1, disk_dir=str(tmp_path))
+    topo, _ = fresh.get(SMALL)
+    assert fresh.misses == 1
+    assert topo.num_nodes == SMALL.total_nodes
+
+
+def test_corrupt_disk_entry_is_evicted_once(tmp_path):
+    """Load failure evicts the bad file; the regenerated entry then hits."""
+    cache = TopologyCache(memory_slots=1, disk_dir=str(tmp_path))
+    cache.get(SMALL)
+    (entry,) = tmp_path.glob("topology-*.npz")
+    good = entry.read_bytes()
+    entry.write_bytes(good[: len(good) // 3])
+
+    fresh = TopologyCache(memory_slots=1, disk_dir=str(tmp_path))
+    fresh.get(SMALL)
+    assert fresh.misses == 1
+    # the eviction replaced the truncated file with a valid entry...
+    (entry,) = tmp_path.glob("topology-*.npz")
+    assert len(entry.read_bytes()) == len(good)
+    # ...which a third process-equivalent loads as a plain disk hit
+    third = TopologyCache(memory_slots=1, disk_dir=str(tmp_path))
+    third.get(SMALL)
+    assert third.disk_hits == 1 and third.misses == 0
+
+
+def test_truncated_entry_missing_oracle_arrays_is_evicted(tmp_path):
+    """An .npz that parses but lacks the oracle matrices is also a miss."""
+    import numpy as _np
+
+    cache = TopologyCache(memory_slots=1, disk_dir=str(tmp_path))
+    cache.get(SMALL)
+    (entry,) = tmp_path.glob("topology-*.npz")
+    with _np.load(entry) as data:
+        arrays = {k: data[k] for k in data.files if not k.startswith("oracle_")}
+    with open(entry, "wb") as handle:
+        _np.savez(handle, **arrays)
+
+    fresh = TopologyCache(memory_slots=1, disk_dir=str(tmp_path))
+    topo, oracle = fresh.get(SMALL)
+    assert fresh.misses == 1
+    topo_ref = generate_transit_stub(SMALL)
+    _assert_identical(topo_ref, DelayOracle(topo_ref), topo, oracle)

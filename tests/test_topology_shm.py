@@ -1,0 +1,188 @@
+"""The shared-memory topology tier: lifecycle, fidelity, crash cleanup.
+
+The contract: inside a pool session the first process publishes each
+underlay's arrays into one POSIX shared-memory segment, everyone else
+attaches zero-copy, queries are bit-identical to the pickled/disk path,
+and closing the session reclaims every segment — including those left
+behind by a worker that crashed mid-run.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import TopologyConfig
+from repro.experiments import common
+from repro.experiments.pool import ExperimentJob, ExperimentPool
+from repro.experiments.registry import REGISTRY, ExperimentResult, register
+from repro.topology import shm
+from repro.topology.cache import TopologyCache, topology_cache_key
+from repro.topology.routing import DelayOracle
+from repro.topology.transit_stub import generate_transit_stub
+
+SMALL = TopologyConfig(
+    transit_domains=2,
+    transit_nodes_per_domain=3,
+    stub_domains_per_transit=2,
+    stub_nodes_per_domain=5,
+    seed=9,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+@pytest.fixture
+def session(monkeypatch):
+    token = shm.new_session_token()
+    monkeypatch.setenv(shm.ENV_SHM_SESSION, token)
+    yield token
+    shm.cleanup_session(token)
+
+
+def test_publish_attach_roundtrip_bit_identical(session):
+    topo = generate_transit_stub(SMALL)
+    oracle = DelayOracle(topo)
+    key = topology_cache_key(SMALL)
+
+    cache = TopologyCache(memory_slots=1, disk_dir=None)
+    pair = cache.get(SMALL)
+    assert shm.active_segments(session)
+
+    other = TopologyCache(memory_slots=1, disk_dir=None)
+    topo2, oracle2 = other.get(SMALL)
+    assert other.shm_hits == 1 and other.misses == 0
+
+    rng = np.random.default_rng(3)
+    pairs = rng.integers(0, topo.num_nodes, size=(300, 2))
+    for u, v in pairs:
+        assert oracle.delay_ms(int(u), int(v)) == oracle2.delay_ms(int(u), int(v))
+    targets = rng.integers(0, topo.num_nodes, size=100)
+    assert (
+        oracle.delays_from(1, targets).tolist()
+        == oracle2.delays_from(1, targets).tolist()
+    )
+
+
+def test_attached_matrices_are_readonly_views(session):
+    cache = TopologyCache(memory_slots=1, disk_dir=None)
+    cache.get(SMALL)
+    other = TopologyCache(memory_slots=1, disk_dir=None)
+    _, oracle = other.get(SMALL)
+    matrices = oracle.to_matrices()
+    assert not matrices["intra"].flags.writeable
+    assert not matrices["core"].flags.writeable
+    with pytest.raises(ValueError):
+        matrices["core"][0, 0] = 1.0
+
+
+def test_publish_race_loser_attaches(session):
+    key = topology_cache_key(SMALL)
+    cache = TopologyCache(memory_slots=1, disk_dir=None)
+    topo, oracle = cache.get(SMALL)
+    # Second publish of the same key: loses the race, reports False.
+    from repro.topology.cache import _topology_to_arrays
+
+    arrays = _topology_to_arrays(topo)
+    matrices = oracle.to_matrices()
+    arrays["oracle_intra"] = matrices["intra"]
+    arrays["oracle_core"] = matrices["core"]
+    assert shm.publish(key, arrays) is False
+    assert shm.attach(key) is not None
+
+
+def test_cleanup_session_reclaims_everything(session):
+    cache = TopologyCache(memory_slots=1, disk_dir=None)
+    cache.get(SMALL)
+    assert shm.active_segments(session)
+    removed = shm.cleanup_session(session)
+    assert removed >= 1
+    assert shm.active_segments(session) == []
+    # idempotent
+    assert shm.cleanup_session(session) == 0
+
+
+def test_kill_switch_disables_tier(session, monkeypatch):
+    monkeypatch.setenv(shm.ENV_SHM_ENABLE, "0")
+    assert not shm.shm_enabled()
+    cache = TopologyCache(memory_slots=1, disk_dir=None)
+    cache.get(SMALL)
+    assert shm.active_segments(session) == []
+    assert shm.attach(topology_cache_key(SMALL)) is None
+
+
+def test_no_session_means_no_tier(monkeypatch):
+    monkeypatch.delenv(shm.ENV_SHM_SESSION, raising=False)
+    assert not shm.shm_enabled()
+    assert shm.publish("deadbeef", {"x": np.zeros(3)}) is False
+    assert shm.attach("deadbeef") is None
+
+
+def test_torn_segment_is_a_miss(session):
+    """Garbage in the segment header degrades to the next tier."""
+    from multiprocessing import shared_memory
+
+    name = shm.segment_name("torn0000torn", session)
+    seg = shared_memory.SharedMemory(name=name, create=True, size=64)
+    try:
+        seg.buf[:8] = (2**40).to_bytes(8, "little")  # absurd header length
+        assert shm.attach("torn0000torn") is None
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def _register(experiment_id: str, run):
+    register(experiment_id, f"test helper {experiment_id}", "test")(run)
+
+
+def test_pool_run_shm_vs_pickled_identical_with_crash():
+    """Acceptance: the shm-backed pool matches the serial (pickled) path
+    byte for byte, even when a worker crashes and the job is retried
+    in-process — and no segment outlives the run."""
+    experiment_id = "testshmcrash"
+
+    def run(scale=1.0, seed=42, **_):
+        # Crash the seed-1 job whenever it runs inside a worker (only
+        # workers get REPRO_CACHE_DIR from the pool initializer); the
+        # in-process retry in the parent then succeeds.
+        if seed == 1 and os.environ.get("REPRO_CACHE_DIR"):
+            os._exit(23)
+        config = TopologyConfig(
+            transit_domains=2,
+            transit_nodes_per_domain=3,
+            stub_domains_per_transit=2,
+            stub_nodes_per_domain=5,
+            seed=9,
+        )
+        from repro.topology.cache import default_cache
+
+        topo, oracle = default_cache().get(config)
+        rng = np.random.default_rng(seed)
+        pairs = rng.integers(0, topo.num_nodes, size=(50, 2))
+        total = sum(oracle.delay_ms(int(u), int(v)) for u, v in pairs)
+        return ExperimentResult(
+            experiment_id, "shm crash", table=f"seed={seed} total={total!r}"
+        )
+
+    _register(experiment_id, run)
+    try:
+        jobs = [ExperimentJob.make(experiment_id, seed=s) for s in (1, 2, 3)]
+        common.clear_caches()
+        serial = ExperimentPool(jobs=1).run(jobs)
+
+        common.clear_caches()
+        assert "REPRO_CACHE_DIR" not in os.environ
+        pool = ExperimentPool(jobs=2)
+        parallel = pool.run(jobs)
+
+        assert pool.retried_jobs >= 1
+        assert [r.table for r in serial] == [r.table for r in parallel]
+        # the session (and any segments a crashed worker published) is gone
+        assert not [n for n in os.listdir("/dev/shm") if n.startswith("rpt")]
+        assert shm.ENV_SHM_SESSION not in os.environ
+    finally:
+        REGISTRY.pop(experiment_id, None)
+        common.clear_caches()
