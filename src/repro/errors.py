@@ -44,6 +44,28 @@ class FaultError(ReproError):
     """A fault-injection primitive, schedule or campaign spec is invalid."""
 
 
+class StoreError(ReproError):
+    """A durable run-store operation failed (ledger, artifact or lock)."""
+
+
+class StoreSchemaError(StoreError):
+    """The on-disk ledger's schema version does not match this code.
+
+    Raised when opening a store written by an incompatible release;
+    carries the versions as :attr:`found` / :attr:`expected`.
+    """
+
+    def __init__(self, found, expected):
+        super().__init__(
+            f"run-store ledger schema version {found!r} is incompatible "
+            f"with this release (expected {expected!r}); use a fresh "
+            f"--store directory or `python -m repro.store export` from a "
+            f"matching checkout"
+        )
+        self.found = found
+        self.expected = expected
+
+
 class InvariantError(ReproError):
     """A registered runtime invariant was violated during a checked run.
 

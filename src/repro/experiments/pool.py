@@ -36,6 +36,12 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..obs.capture import apply_obs_env, job_capture, obs_env
 from ..obs.profile import record_stage, stage_timer
+from ..store.runstore import (
+    active_store,
+    apply_store_env,
+    resume_enabled,
+    store_env,
+)
 from ..topology import shm
 from ..topology.cache import ENV_CACHE_DIR
 from .registry import ExperimentResult, run_experiment
@@ -78,7 +84,20 @@ def execute_job(job: ExperimentJob) -> ExperimentResult:
     in-process path go through, so observability artifacts (trace lines,
     metrics/profile units — see :mod:`repro.obs.capture`) are captured
     here and attached to the result regardless of where the job ran.
+
+    It is also where the durable run store (:mod:`repro.store`) hooks
+    in: with ``REPRO_STORE_DIR`` set, every completed unit commits its
+    result payload to the ledger, and with ``REPRO_STORE_RESUME`` a unit
+    the ledger already has is *replayed* — execution skipped, the stored
+    table/data/artifacts returned verbatim — which is what makes
+    ``--resume`` after a crash byte-identical to an uninterrupted run.
     """
+    store = active_store()
+    key = store.job_key(job) if store is not None else None
+    if store is not None and resume_enabled():
+        replayed = store.replay(key)
+        if replayed is not None:
+            return replayed
     with job_capture() as capture:
         result = run_experiment(
             job.experiment_id, scale=job.scale, seed=job.seed, **dict(job.kwargs)
@@ -87,11 +106,16 @@ def execute_job(job: ExperimentJob) -> ExperimentResult:
         artifacts = capture.artifacts()
         if artifacts:
             result.artifacts.update(artifacts)
+    if store is not None:
+        store.record_result(key, job, result)
     return result
 
 
 def _worker_init(
-    cache_dir: Optional[str], obs_flags: dict, shm_session: Optional[str] = None
+    cache_dir: Optional[str],
+    obs_flags: dict,
+    shm_session: Optional[str] = None,
+    store_flags: Optional[dict] = None,
 ) -> None:
     if cache_dir:
         os.environ[ENV_CACHE_DIR] = cache_dir
@@ -99,10 +123,12 @@ def _worker_init(
         # Join the pool's shared-memory session: the topology cache will
         # attach published artefacts zero-copy (see repro.topology.shm).
         os.environ[shm.ENV_SHM_SESSION] = shm_session
-    # Re-export the observability flags explicitly: with the fork start
-    # method they are inherited anyway, but spawn-based platforms would
-    # otherwise silently drop tracing in workers.
+    # Re-export the observability and run-store flags explicitly: with
+    # the fork start method they are inherited anyway, but spawn-based
+    # platforms would otherwise silently drop tracing/checkpointing in
+    # workers.
     apply_obs_env(obs_flags)
+    apply_store_env(store_flags or {})
 
 
 class ExperimentPool:
@@ -163,7 +189,7 @@ class ExperimentPool:
             executor = ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(jobs)),
                 initializer=_worker_init,
-                initargs=(cache_dir, obs_env(), shm_session),
+                initargs=(cache_dir, obs_env(), shm_session, store_env()),
             )
             try:
                 clock = stage_timer()

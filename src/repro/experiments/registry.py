@@ -25,6 +25,32 @@ class ExperimentResult:
     def __str__(self) -> str:
         return self.table
 
+    # -- durable-store round-trip ------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready form stored by :mod:`repro.store` (and replayed by
+        ``--resume``).  ``table`` is carried verbatim and ``data`` /
+        ``artifacts`` are JSON-clean by convention (the runner's
+        ``--json`` output already relies on that), so a replayed result
+        renders byte-identically to the original."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "table": self.table,
+            "data": self.data,
+            "artifacts": self.artifacts,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ExperimentResult":
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            table=payload["table"],
+            data=payload.get("data", {}),
+            artifacts=payload.get("artifacts", {}),
+        )
+
 
 @dataclass(frozen=True)
 class Experiment:

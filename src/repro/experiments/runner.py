@@ -12,6 +12,12 @@ worker processes (default: one per CPU); results are merged in
 deterministic order, so the emitted tables are byte-identical to a
 ``--jobs 1`` run.  Output files (``--out``, ``--json``) are written
 atomically — a crashed or killed run never leaves a truncated file.
+
+``--store DIR`` additionally checkpoints every completed unit into a
+durable run store (``docs/store.md``), and ``--resume`` replays the
+units a previous — possibly killed — invocation already finished, so
+only the missing work re-executes and the final report/trace is
+byte-identical to an uninterrupted run at any ``--jobs`` value.
 """
 
 from __future__ import annotations
@@ -82,6 +88,7 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--out", type=str, default=None)
     faults.add_argument("--json", type=str, default=None)
     _add_obs_arguments(faults)
+    _add_store_arguments(faults)
     return parser
 
 
@@ -133,6 +140,7 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         "checker (see docs/invariants.md); the first violation aborts",
     )
     _add_obs_arguments(parser)
+    _add_store_arguments(parser)
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -164,6 +172,24 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="checkpoint every completed unit into this durable run store "
+        "(see docs/store.md); defaults to $REPRO_STORE_DIR when set",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay units the store's ledger already has instead of "
+        "re-executing them; the final report is byte-identical to an "
+        "uninterrupted run (requires --store or $REPRO_STORE_DIR)",
+    )
+
+
 def _atomic_write(path: str, content: str) -> None:
     """Write ``content`` to ``path`` via a temp file + rename.
 
@@ -192,12 +218,16 @@ class _Emitter:
     def __init__(self, out_path: Optional[str]):
         self._path = out_path
         self._content = ""
+        #: Text emitted by this invocation only (no pre-existing --out
+        #: prefix); the durable run store records it as the run's report.
+        self.session_content = ""
         if out_path and os.path.exists(out_path):
             with open(out_path) as handle:
                 self._content = handle.read()
 
     def emit(self, text: str) -> None:
         print(text)
+        self.session_content += text + "\n"
         if self._path:
             self._content += text + "\n"
             _atomic_write(self._path, self._content)
@@ -265,8 +295,56 @@ class _ArtifactCollector:
             )
 
 
+class _StoreRunRecorder:
+    """Links one CLI invocation to the durable run store (if active).
+
+    Snapshots the ledger's aggregate counters up front so the
+    replayed/executed split it reports covers exactly this invocation's
+    units — including units recorded by nested campaign fan-out.  The
+    summary goes to stderr: stdout and ``--out`` must stay byte-identical
+    between resumed and uninterrupted runs.
+    """
+
+    def __init__(self) -> None:
+        from ..store.runstore import active_store
+
+        self.store = active_store()
+        self._before = (
+            self.store.ledger.totals() if self.store is not None else None
+        )
+
+    def finish(
+        self,
+        name: str,
+        command: str,
+        params: dict,
+        report_text: Optional[str],
+        json_data: Optional[dict],
+    ) -> None:
+        if self.store is None:
+            return
+        after = self.store.ledger.totals()
+        executed = after["executions"] - self._before["executions"]
+        replayed = after["hits"] - self._before["hits"]
+        run_id = self.store.record_run(
+            name=name,
+            command=command,
+            params=params,
+            report_text=report_text,
+            json_data=json_data,
+            units_total=executed + replayed,
+            units_replayed=replayed,
+        )
+        print(
+            f"[store] run #{run_id}: {replayed} unit(s) replayed, "
+            f"{executed} executed -> {self.store.root}",
+            file=sys.stderr,
+        )
+
+
 def _run_ids(ids: List[str], args) -> int:
     jobs = resolve_jobs(args.jobs)
+    recorder = _StoreRunRecorder()
     emitter = _Emitter(args.out)
     json_data = {}
     collector = _ArtifactCollector()
@@ -317,6 +395,19 @@ def _run_ids(ids: List[str], args) -> int:
         _atomic_write(
             args.json, json.dumps(json_data, indent=2, default=str)
         )
+    recorder.finish(
+        name=args.command if args.command == "all" else f"run {ids[0]}",
+        command=f"repro.experiments {args.command}",
+        params={
+            "experiments": ids,
+            "scale": args.scale,
+            "seed": args.seed,
+            "replicas": args.replicas,
+            "jobs": jobs,
+        },
+        report_text=emitter.session_content,
+        json_data=json_data,
+    )
     return 0
 
 
@@ -365,8 +456,35 @@ def _restore_environment(saved: dict) -> None:
             os.environ[name] = old
 
 
+def _set_store_environment(args) -> dict:
+    """Export ``--store``/``--resume`` as environment variables.
+
+    Same rationale as the obs flags: the run store must be visible at
+    the pool chokepoint inside worker processes, and the environment is
+    the only channel that survives both start methods.  Returns the
+    previous values for restoration.
+    """
+    from ..store.runstore import ENV_STORE_DIR, ENV_STORE_RESUME
+
+    wanted = {}
+    if getattr(args, "store", None):
+        wanted[ENV_STORE_DIR] = args.store
+    if getattr(args, "resume", False):
+        wanted[ENV_STORE_RESUME] = "1"
+    saved = {}
+    for name, value in wanted.items():
+        saved[name] = os.environ.get(name)
+        os.environ[name] = value
+    return saved
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not (
+        getattr(args, "store", None) or os.environ.get("REPRO_STORE_DIR")
+    ):
+        parser.error("--resume requires --store DIR (or $REPRO_STORE_DIR)")
     if getattr(args, "check_invariants", False) and args.command in ("run", "all"):
         # The experiment modules build their simulations deep inside
         # cached helpers (and possibly in pool workers, which inherit the
@@ -380,6 +498,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         return 0
     saved_env = _set_obs_environment(args)
+    saved_store = _set_store_environment(args)
     try:
         if args.command == "faults_campaign":
             return _run_faults_campaign(args)
@@ -388,6 +507,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_ids([args.experiment_id], args)
         return _run_ids([e.experiment_id for e in list_experiments()], args)
     finally:
+        _restore_environment(saved_store)
         _restore_environment(saved_env)
 
 
@@ -396,6 +516,7 @@ def _run_faults_campaign(args) -> int:
 
     spec = args.spec_path if args.spec_path is not None else args.spec
     campaign = resolve_campaign(spec)
+    recorder = _StoreRunRecorder()
     report = run_campaign(
         campaign,
         scale=args.scale,
@@ -418,6 +539,19 @@ def _run_faults_campaign(args) -> int:
     collector.emit_sections(args, emitter, report.data)
     if args.json:
         _atomic_write(args.json, json.dumps(report.data, indent=2, default=str))
+    recorder.finish(
+        name=f"faults_campaign {campaign.name}",
+        command="repro.experiments faults_campaign",
+        params={
+            "spec": campaign.to_spec(),
+            "scale": args.scale,
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "check_invariants": args.check_invariants,
+        },
+        report_text=emitter.session_content,
+        json_data=report.data,
+    )
     return 1 if violations else 0
 
 

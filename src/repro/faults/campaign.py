@@ -14,6 +14,14 @@ and merges the per-run resilience metrics into one report:
 Results are merged in submission order and every random draw is keyed by
 the run seed, so the report is byte-identical for a given seed at any
 ``--jobs`` value.
+
+Campaigns are also *checkpointable*: each (scenario, protocol, seed)
+unit travels through the pool chokepoint, so with ``--store DIR`` every
+completed unit commits durably to the run-store ledger
+(:mod:`repro.store`) and a campaign killed mid-run — even ``kill -9`` —
+can be restarted with ``--resume`` to replay the finished units and
+execute only the missing ones, yielding the same report bytes as an
+uninterrupted run.  See ``docs/store.md``.
 """
 
 from __future__ import annotations
@@ -397,6 +405,12 @@ def run_campaign(
     for a given seed at any ``jobs`` value.  ``check_invariants`` runs
     every unit under a non-strict invariant checker and rolls the
     violation counts up into the report.
+
+    With a durable run store active (``REPRO_STORE_DIR``), each unit
+    commits to the ledger as it completes; under ``REPRO_STORE_RESUME``
+    already-completed units are replayed from their stored payloads
+    instead of re-executed, and the merge cannot tell the difference —
+    the replayed record and artifacts are the original bytes.
     """
     from ..experiments.pool import ExperimentJob, run_jobs
 

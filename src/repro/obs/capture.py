@@ -67,7 +67,12 @@ def obs_fingerprint() -> Tuple[bool, bool, bool, bool]:
     Cached runs in :mod:`repro.experiments.common` store their emitted
     :class:`ObsUnit` next to the result; keying on the fingerprint keeps
     a unit captured with one channel set from being replayed under
-    another.
+    another.  The durable run store folds the same fingerprint into its
+    ledger unit keys (:func:`repro.store.keys.unit_key`) for the same
+    reason: a ``--resume`` must only replay results whose captured
+    artifacts match the channels the resumed invocation has enabled,
+    or merged traces would gain/lose records relative to an
+    uninterrupted run.
     """
     return tuple(_flag(name) for name in _ENV_FLAGS)
 

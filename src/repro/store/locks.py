@@ -1,0 +1,76 @@
+"""Advisory file locking for concurrent store writers.
+
+Pool workers record unit completions into one shared store, and nothing
+stops two independent CLI invocations from pointing ``--store`` at the
+same directory — so every mutating section (ledger writes, artifact
+publication) runs under an advisory ``flock`` on a sidecar lock file.
+
+The lock is *advisory* on purpose: readers never take it (reads are
+safe against torn state by construction — artifacts publish via
+temp-file + rename and SQLite reads are transactional), so a wedged
+writer can never block triage commands like ``repro.store ls``.
+
+On platforms without ``fcntl`` the lock degrades to a no-op; SQLite's
+own database-level locking still serializes ledger writers there, and
+artifact publication stays atomic via ``os.replace``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+try:  # pragma: no cover - import guard exercised only off-POSIX
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
+
+class FileLock:
+    """A reentrant advisory lock bound to one lock-file path.
+
+    Usable as a context manager::
+
+        with FileLock(os.path.join(root, ".lock")):
+            ...  # mutate ledger/objects
+
+    Reentrancy matters because a ledger method that takes the lock may
+    be called from a store method that already holds it.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle: Optional[int] = None
+        self._depth = 0
+
+    def acquire(self) -> None:
+        if self._depth > 0:
+            self._depth += 1
+            return
+        if fcntl is not None:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            self._handle = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            fcntl.flock(self._handle, fcntl.LOCK_EX)
+        self._depth = 1
+
+    def release(self) -> None:
+        if self._depth == 0:
+            raise RuntimeError("release() without acquire()")
+        self._depth -= 1
+        if self._depth > 0:
+            return
+        if self._handle is not None:
+            fcntl.flock(self._handle, fcntl.LOCK_UN)
+            os.close(self._handle)
+            self._handle = None
+
+    @property
+    def held(self) -> bool:
+        return self._depth > 0
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()

@@ -1,4 +1,4 @@
-"""Repository hygiene: no bytecode or cache artefacts ever get tracked.
+"""Repository hygiene: no bytecode, cache or result artefacts tracked.
 
 CI enforces the same rule with a `git ls-files` guard; this test keeps
 the check in the local tier-1 loop so an accidental `git add -A` of
@@ -6,6 +6,7 @@ __pycache__ directories is caught before a push.
 """
 
 import fnmatch
+import re
 import shutil
 import subprocess
 from pathlib import Path
@@ -83,3 +84,49 @@ def test_manifest_ships_goldens_but_not_trace_output():
     assert "recursive-include tests/golden *.jsonl" in manifest
     assert "global-exclude *.trace.jsonl" in manifest
     assert "global-exclude *.jsonl.tmp-*" in manifest
+
+
+RESULT_ARTIFACT_PATTERNS = (
+    "results*.txt",
+    "*/results*.txt",
+    "*.runstore/*",
+)
+
+
+def test_no_result_artifacts_tracked():
+    """Experiment output (results tables, run stores) must never be
+    committed; the tracked BENCH_*.json perf baselines are the one
+    deliberate exception and do not match these patterns."""
+    offenders = [
+        path
+        for path in tracked_files()
+        for pattern in RESULT_ARTIFACT_PATTERNS
+        if fnmatch.fnmatch(path, pattern)
+    ]
+    assert offenders == [], f"result artefacts tracked: {offenders}"
+
+
+def test_gitignore_covers_result_artifacts():
+    ignored = (REPO_ROOT / ".gitignore").read_text().splitlines()
+    for required in ("results*.txt", "*.runstore/"):
+        assert required in ignored, f".gitignore is missing {required!r}"
+
+
+def _pyproject_version() -> str:
+    text = (REPO_ROOT / "pyproject.toml").read_text()
+    match = re.search(r'^version\s*=\s*"([^"]+)"', text, flags=re.MULTILINE)
+    assert match, "pyproject.toml has no project version"
+    return match.group(1)
+
+
+def _changelog_latest_release() -> str:
+    text = (REPO_ROOT / "CHANGELOG.md").read_text()
+    match = re.search(r"^## ([0-9]+(?:\.[0-9]+)*)", text, flags=re.MULTILINE)
+    assert match, "CHANGELOG.md has no release heading"
+    return match.group(1)
+
+
+def test_pyproject_version_matches_changelog():
+    """The released version is written in exactly two places; they must
+    agree or the sdist will claim a version with no release notes."""
+    assert _pyproject_version() == _changelog_latest_release()

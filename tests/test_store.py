@@ -1,0 +1,285 @@
+"""Unit tests for the durable run store: keys, artifacts, ledger, locks.
+
+Failure modes are the point: corrupted and truncated artifacts must
+quarantine (never be trusted), a ledger from an incompatible release
+must refuse to open, and concurrent multi-process writers must not lose
+or corrupt each other's units.
+"""
+
+import json
+import multiprocessing
+import os
+import sqlite3
+
+import pytest
+
+from repro.errors import StoreError, StoreSchemaError
+from repro.experiments.pool import ExperimentJob
+from repro.experiments.registry import ExperimentResult
+from repro.store import (
+    STORE_SCHEMA_VERSION,
+    ArtifactStore,
+    FileLock,
+    Ledger,
+    RunStore,
+    content_digest,
+    unit_key,
+)
+
+
+def make_result(experiment_id="figX", value=1.5):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"{experiment_id} title",
+        table=f"| {experiment_id} | {value} |",
+        data={"series": {"metric": [value, value + 1.0]}, "value": value},
+        artifacts={"trace": [f'{{"record":"{experiment_id}"}}']},
+    )
+
+
+def make_job(experiment_id="figX", seed=3, **kwargs):
+    return ExperimentJob.make(experiment_id, scale=0.5, seed=seed, **kwargs)
+
+
+# -- keys -------------------------------------------------------------------------
+
+
+def test_unit_key_is_canonical():
+    base = unit_key("fig04", 0.5, 3, (("b", 2), ("a", 1)))
+    assert base == unit_key("fig04", 0.5, 3, (("a", 1), ("b", 2)))
+    assert len(base) == 64 and set(base) <= set("0123456789abcdef")
+
+
+def test_unit_key_discriminates_every_dimension():
+    base = unit_key("fig04", 0.5, 3, (("a", 1),))
+    assert unit_key("fig05", 0.5, 3, (("a", 1),)) != base
+    assert unit_key("fig04", 0.6, 3, (("a", 1),)) != base
+    assert unit_key("fig04", 0.5, 4, (("a", 1),)) != base
+    assert unit_key("fig04", 0.5, 3, (("a", 2),)) != base
+    assert unit_key("fig04", 0.5, 3, (("a", 1),), (True, False)) != base
+
+
+# -- artifact store ---------------------------------------------------------------
+
+
+def test_artifact_round_trip_and_dedup(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    digest = store.put(b"payload bytes")
+    assert digest == content_digest(b"payload bytes")
+    assert store.put(b"payload bytes") == digest  # idempotent
+    assert store.get(digest) == b"payload bytes"
+    assert store.contains(digest)
+    assert list(store.digests()) == [digest]
+
+
+def test_artifact_missing_is_a_miss(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    assert store.get("0" * 64) is None
+
+
+def test_corrupted_artifact_quarantines(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    digest = store.put(b"good bytes")
+    path = os.path.join(str(tmp_path), "objects", digest[:2], digest)
+    with open(path, "wb") as handle:
+        handle.write(b"tampered!")
+    assert store.get(digest) is None
+    assert not store.contains(digest)
+    assert any(name.startswith(digest) for name in store.quarantined())
+    # The slot is free again: republished good bytes verify.
+    assert store.put(b"good bytes") == digest
+    assert store.get(digest) == b"good bytes"
+
+
+def test_truncated_artifact_quarantines(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    digest = store.put(b"a longer payload that will be cut short")
+    path = os.path.join(str(tmp_path), "objects", digest[:2], digest)
+    with open(path, "r+b") as handle:
+        handle.truncate(5)
+    assert store.get(digest) is None
+    assert any(name.startswith(digest) for name in store.quarantined())
+    assert store.purge_quarantine() == 1
+    assert store.quarantined() == []
+
+
+def test_artifact_delete_rejects_non_digests(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    with pytest.raises(StoreError):
+        store.delete("../../etc/passwd")
+
+
+# -- ledger -----------------------------------------------------------------------
+
+
+def test_ledger_unit_round_trip(tmp_path):
+    ledger = Ledger(str(tmp_path / "ledger.sqlite"))
+    ledger.record_unit("k1", "fig04", 0.5, 3, "{}", "d1")
+    row = ledger.lookup_unit("k1")
+    assert row["experiment_id"] == "fig04"
+    assert row["executions"] == 1 and row["hits"] == 0
+    ledger.record_hit("k1")
+    ledger.record_hit("k1")
+    assert ledger.lookup_unit("k1")["hits"] == 2
+    # Re-recording (forced re-execution) bumps executions, keeps the key.
+    ledger.record_unit("k1", "fig04", 0.5, 3, "{}", "d2")
+    row = ledger.lookup_unit("k1")
+    assert row["executions"] == 2 and row["artifact"] == "d2"
+    assert ledger.lookup_unit("missing") is None
+    assert ledger.forget_unit("k1") and not ledger.forget_unit("k1")
+
+
+def test_ledger_schema_version_mismatch_refuses_to_open(tmp_path):
+    path = str(tmp_path / "ledger.sqlite")
+    Ledger(path)  # creates schema at the current version
+    conn = sqlite3.connect(path)
+    with conn:
+        conn.execute(
+            "UPDATE store_meta SET value='999' WHERE key='schema_version'"
+        )
+    conn.close()
+    with pytest.raises(StoreSchemaError) as excinfo:
+        Ledger(path)
+    assert excinfo.value.found == "999"
+    assert excinfo.value.expected == str(STORE_SCHEMA_VERSION)
+
+
+def test_ledger_runs_and_totals(tmp_path):
+    ledger = Ledger(str(tmp_path / "ledger.sqlite"))
+    ledger.record_unit("k1", "fig04", 0.5, 3, "{}", "d1")
+    ledger.record_hit("k1")
+    run_id = ledger.record_run(
+        name="run fig04",
+        command="repro.experiments run",
+        params_json="{}",
+        report_artifact="r1",
+        json_artifact="j1",
+        units_total=1,
+        units_replayed=1,
+    )
+    assert ledger.get_run(run_id)["name"] == "run fig04"
+    with pytest.raises(StoreError):
+        ledger.get_run(999)
+    totals = ledger.totals()
+    assert totals == {"units": 1, "executions": 1, "hits": 1, "runs": 1}
+    assert ledger.referenced_artifacts() == ["d1", "j1", "r1"]
+
+
+# -- file lock --------------------------------------------------------------------
+
+
+def test_file_lock_is_reentrant(tmp_path):
+    lock = FileLock(str(tmp_path / ".lock"))
+    with lock:
+        with lock:
+            assert lock.held
+        assert lock.held
+    assert not lock.held
+    with pytest.raises(RuntimeError):
+        lock.release()
+
+
+# -- RunStore record/replay -------------------------------------------------------
+
+
+def test_record_then_replay_round_trips(tmp_path):
+    store = RunStore(str(tmp_path))
+    job = make_job()
+    key = store.job_key(job)
+    original = make_result()
+    store.record_result(key, job, original)
+
+    replayed = store.replay(key)
+    assert replayed.experiment_id == original.experiment_id
+    assert replayed.table == original.table
+    assert replayed.data == original.data
+    assert replayed.artifacts == original.artifacts
+    assert store.ledger.lookup_unit(key)["hits"] == 1
+    assert store.replay(store.job_key(make_job(seed=99))) is None
+
+
+def test_replay_of_corrupted_payload_is_a_miss(tmp_path):
+    store = RunStore(str(tmp_path))
+    job = make_job()
+    key = store.job_key(job)
+    store.record_result(key, job, make_result())
+    digest = store.ledger.lookup_unit(key)["artifact"]
+    path = os.path.join(store.root, "objects", digest[:2], digest)
+    with open(path, "r+b") as handle:
+        handle.truncate(10)
+
+    assert store.replay(key) is None  # quarantined, not trusted
+    assert store.ledger.lookup_unit(key) is None  # row dropped: will re-run
+    assert any(n.startswith(digest) for n in store.artifacts.quarantined())
+
+    # The re-executed unit republishes and replays cleanly again.
+    store.record_result(key, job, make_result())
+    assert store.replay(key) is not None
+
+
+def test_gc_drops_unreferenced_objects_only(tmp_path):
+    store = RunStore(str(tmp_path))
+    job = make_job()
+    key = store.job_key(job)
+    store.record_result(key, job, make_result())
+    referenced = store.ledger.lookup_unit(key)["artifact"]
+    orphan = store.artifacts.put(b"orphaned payload")
+    outcome = store.gc()
+    assert outcome["removed"] == 1
+    assert store.artifacts.contains(referenced)
+    assert not store.artifacts.contains(orphan)
+
+
+def test_result_payload_round_trip():
+    original = make_result()
+    clone = ExperimentResult.from_payload(
+        json.loads(json.dumps(original.to_payload(), default=str))
+    )
+    assert clone.experiment_id == original.experiment_id
+    assert clone.title == original.title
+    assert clone.table == original.table
+    assert clone.data == original.data
+    assert clone.artifacts == original.artifacts
+
+
+# -- concurrent writers -----------------------------------------------------------
+
+
+def _hammer_store(root: str, writer: int, units: int) -> None:
+    store = RunStore(root)
+    for index in range(units):
+        job = ExperimentJob.make(
+            "figX", scale=1.0, seed=writer * 1000 + index, writer=writer
+        )
+        result = ExperimentResult(
+            experiment_id="figX",
+            title="t",
+            table=f"writer {writer} unit {index}",
+            data={"writer": writer, "index": index},
+        )
+        store.record_result(store.job_key(job), job, result)
+
+
+def test_two_concurrent_writers_on_one_store(tmp_path):
+    """Two processes hammer one store; every unit must land intact."""
+    root = str(tmp_path)
+    RunStore(root)  # create the store before the writers race on schema
+    units = 25
+    ctx = multiprocessing.get_context("fork")
+    workers = [
+        ctx.Process(target=_hammer_store, args=(root, writer, units))
+        for writer in (1, 2)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=120)
+        assert worker.exitcode == 0
+
+    store = RunStore(root)
+    rows = store.ledger.units()
+    assert len(rows) == 2 * units
+    assert all(row["executions"] == 1 for row in rows)
+    for row in rows:  # every payload must verify against its digest
+        assert store.artifacts.get(row["artifact"]) is not None
+    assert store.artifacts.quarantined() == []
