@@ -77,3 +77,14 @@ class InvariantError(ReproError):
     def __init__(self, violation):
         super().__init__(str(violation))
         self.violation = violation
+
+
+class ValidationError(ReproError):
+    """A statistical-validation operation failed (baseline, gate, oracle).
+
+    Covers malformed or version-incompatible baseline files, unknown
+    differential oracles and gate invocations that cannot be evaluated
+    (e.g. a baseline naming an unregistered experiment).  A *failing*
+    gate is not an error — it is a structured report with a non-zero
+    exit code.
+    """

@@ -97,13 +97,17 @@ def shared_topology(config: SimulationConfig):
 def shared_workload(
     config: SimulationConfig, probe: Optional[Session] = None, salt: int = 0
 ):
-    """One workload per (workload config, horizon, probe, salt) — identical
-    across the protocols of a sweep."""
+    """One workload per (topology config, workload config, horizon, probe,
+    salt) — identical across the protocols of a sweep."""
     topology, _ = shared_topology(config)
     probe_key = None
     if probe is not None:
         probe_key = (probe.arrival_s, probe.lifetime_s, probe.bandwidth)
-    key = (config.workload, round(config.horizon_s, 6), probe_key, salt)
+    # The topology config belongs in the key: attach nodes come from the
+    # underlay, and two scales can coincide on every workload field (e.g.
+    # scale 0.02 x size 5000 and scale 0.05 x size 2000 both target 100
+    # members with the same derived seed) while their underlays differ.
+    key = (config.topology, config.workload, round(config.horizon_s, 6), probe_key, salt)
     workload = _workload_cache.get(key)
     if workload is None:
         rngs = RngRegistry(config.seed)

@@ -87,6 +87,7 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--job-timeout", type=float, default=None)
     faults.add_argument("--out", type=str, default=None)
     faults.add_argument("--json", type=str, default=None)
+    _add_validate_argument(faults)
     _add_obs_arguments(faults)
     _add_store_arguments(faults)
     return parser
@@ -139,8 +140,22 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="run every simulation under the strict runtime invariant "
         "checker (see docs/invariants.md); the first violation aborts",
     )
+    _add_validate_argument(parser)
     _add_obs_arguments(parser)
     _add_store_arguments(parser)
+
+
+def _add_validate_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--validate",
+        type=str,
+        default=None,
+        metavar="BASELINE_DIR",
+        help="after the run, gate the registered experiments against the "
+        "golden baselines in this directory (see docs/validation.md); a "
+        "failing gate makes the command exit non-zero and, with --json, "
+        "embeds the structured report under '_validate'",
+    )
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -342,6 +357,30 @@ class _StoreRunRecorder:
         )
 
 
+def _run_validation(args, emitter: _Emitter, json_data: dict) -> bool:
+    """Gate the run against golden baselines (the ``--validate`` flag).
+
+    Runs through the same ``execute_job`` chokepoint as the experiments
+    themselves, so an active run store records (or replays) the gate's
+    units too.  Emits the human-readable verdicts, embeds the structured
+    report under ``_validate`` in the ``--json`` payload, and returns
+    whether every gate passed.
+    """
+    if not getattr(args, "validate", None):
+        return True
+    from ..validate.baseline import load_baseline_dir
+    from ..validate.gate import run_gates
+
+    report = run_gates(
+        load_baseline_dir(args.validate),
+        baseline_dir=args.validate,
+        jobs=resolve_jobs(getattr(args, "jobs", None)),
+    )
+    emitter.emit(report.render_text())
+    json_data["_validate"] = report.to_payload()
+    return report.passed
+
+
 def _run_ids(ids: List[str], args) -> int:
     jobs = resolve_jobs(args.jobs)
     recorder = _StoreRunRecorder()
@@ -391,6 +430,7 @@ def _run_ids(ids: List[str], args) -> int:
             segment_started = time.time()
             emitter.emit(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
     collector.emit_sections(args, emitter, json_data)
+    validated = _run_validation(args, emitter, json_data)
     if args.json:
         _atomic_write(
             args.json, json.dumps(json_data, indent=2, default=str)
@@ -408,7 +448,7 @@ def _run_ids(ids: List[str], args) -> int:
         report_text=emitter.session_content,
         json_data=json_data,
     )
-    return 0
+    return 0 if validated else 1
 
 
 def _write_svg(result, directory: str) -> None:
@@ -485,6 +525,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         getattr(args, "store", None) or os.environ.get("REPRO_STORE_DIR")
     ):
         parser.error("--resume requires --store DIR (or $REPRO_STORE_DIR)")
+    if getattr(args, "validate", None) and not os.path.isdir(args.validate):
+        parser.error(f"--validate: baseline directory not found: {args.validate}")
     if getattr(args, "check_invariants", False) and args.command in ("run", "all"):
         # The experiment modules build their simulations deep inside
         # cached helpers (and possibly in pool workers, which inherit the
@@ -537,6 +579,7 @@ def _run_faults_campaign(args) -> int:
     collector = _ArtifactCollector()
     collector.collect(report)
     collector.emit_sections(args, emitter, report.data)
+    validated = _run_validation(args, emitter, report.data)
     if args.json:
         _atomic_write(args.json, json.dumps(report.data, indent=2, default=str))
     recorder.finish(
@@ -552,7 +595,7 @@ def _run_faults_campaign(args) -> int:
         report_text=emitter.session_content,
         json_data=report.data,
     )
-    return 1 if violations else 0
+    return 1 if (violations or not validated) else 0
 
 
 if __name__ == "__main__":

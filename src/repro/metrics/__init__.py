@@ -9,17 +9,21 @@ the paper's figures.
 
 from .collectors import ChurnMetrics, TimeSeries
 from .stats import (
+    bootstrap_ci_95,
     cdf_points,
     confidence_interval_95,
     describe,
     mean_and_ci,
+    within_tolerance,
 )
 
 __all__ = [
     "ChurnMetrics",
     "TimeSeries",
+    "bootstrap_ci_95",
     "cdf_points",
     "confidence_interval_95",
     "describe",
     "mean_and_ci",
+    "within_tolerance",
 ]

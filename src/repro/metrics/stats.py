@@ -19,9 +19,17 @@ _T_95 = [
 
 
 def t_critical_95(df: int) -> float:
-    """Two-sided 95% Student-t critical value for ``df`` degrees of freedom."""
-    if df < 1:
-        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    """Two-sided 95% Student-t critical value for ``df`` degrees of freedom.
+
+    ``df == 0`` (a single-sample input) returns ``inf``: one observation
+    pins nothing down, so the limiting interval is unbounded rather than
+    an error — callers that feed ``data.size - 1`` straight in no longer
+    have to special-case singletons.  Negative ``df`` is still a bug.
+    """
+    if df < 0:
+        raise ValueError(f"degrees of freedom must be >= 0, got {df}")
+    if df == 0:
+        return math.inf
     if df <= len(_T_95):
         return _T_95[df - 1]
     return 1.96
@@ -30,13 +38,67 @@ def t_critical_95(df: int) -> float:
 def confidence_interval_95(values: Sequence[float]) -> float:
     """Half-width of the 95% confidence interval of the mean.
 
-    Returns 0 for fewer than two samples (no dispersion estimate).
+    Returns 0 for fewer than two samples (no dispersion estimate) and
+    *exactly* 0 for an all-identical sample: pairwise-summation noise in
+    ``np.std`` can otherwise produce a ~1e-17 width, which downstream
+    consumers (e.g. :mod:`repro.validate` gate tolerances) would treat as
+    a real dispersion estimate.  A NaN anywhere in the sample propagates
+    to a NaN width.
     """
     data = np.asarray(values, dtype=float)
     if data.size < 2:
         return 0.0
+    if np.all(data == data[0]):
+        return 0.0
     sem = data.std(ddof=1) / math.sqrt(data.size)
     return float(t_critical_95(data.size - 1) * sem)
+
+
+def bootstrap_ci_95(
+    values: Sequence[float], n_resamples: int = 2000, seed: int = 0
+) -> Tuple[float, float]:
+    """Percentile-bootstrap 95% CI of the mean: ``(lo, hi)``.
+
+    Deterministic for a given ``seed`` (the resampling RNG is private),
+    so committed baselines are reproducible.  Degenerate samples follow
+    :func:`mean_and_ci`'s conventions: an empty sample yields
+    ``(nan, nan)`` and a singleton collapses to a zero-width interval.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        return math.nan, math.nan
+    if data.size == 1 or bool(np.all(data == data[0])):
+        # All-identical samples collapse to an exactly zero-width
+        # interval (resampled means would reintroduce ~1-ulp noise).
+        value = float(data[0])
+        return value, value
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, data.size, size=(n_resamples, data.size))
+    means = data[indices].mean(axis=1)
+    return (
+        float(np.percentile(means, 2.5)),
+        float(np.percentile(means, 97.5)),
+    )
+
+
+def within_tolerance(a: float, b: float, rtol: float = 0.0, atol: float = 0.0) -> bool:
+    """NaN-aware, *symmetric* tolerance comparison of two scalars.
+
+    ``NaN`` equals only ``NaN`` (the experiment reports use it for empty
+    cells), infinities must match exactly (same sign), and finite values
+    pass iff ``|a - b| <= atol + rtol * max(|a|, |b|)``.  Using the max
+    of the magnitudes — not one side's — makes the predicate symmetric:
+    ``within_tolerance(a, b) == within_tolerance(b, a)`` always.
+    """
+    if rtol < 0 or atol < 0:
+        raise ValueError(f"tolerances must be >= 0, got rtol={rtol}, atol={atol}")
+    a = float(a)
+    b = float(b)
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= atol + rtol * max(abs(a), abs(b))
 
 
 def mean_and_ci(values: Sequence[float]) -> Tuple[float, float]:

@@ -170,12 +170,18 @@ def _is_number(value) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
-def iter_report_diff(a, b, path: str = "") -> Iterator[Tuple[str, str]]:
+def iter_report_diff(
+    a, b, path: str = "", rtol: float = 0.0, atol: float = 0.0
+) -> Iterator[Tuple[str, str]]:
     """Yield ``(leaf_path, human description)`` for every difference.
 
     Structure-aware: dicts recurse over the key union, lists pairwise;
     numeric leaves get a relative delta, NaN==NaN counts as equal (the
-    campaign reports use NaN for empty cells).
+    campaign reports use NaN for empty cells).  ``rtol``/``atol`` relax
+    the numeric comparison (see
+    :func:`repro.metrics.stats.within_tolerance`); the defaults keep the
+    store CLI's exact-equality contract.  Non-numeric leaves always
+    compare exactly.
     """
     if isinstance(a, dict) and isinstance(b, dict):
         for key in sorted(set(a) | set(b), key=str):
@@ -185,22 +191,21 @@ def iter_report_diff(a, b, path: str = "") -> Iterator[Tuple[str, str]]:
             elif key not in b:
                 yield where, f"only in A: {a[key]!r}"
             else:
-                yield from iter_report_diff(a[key], b[key], where)
+                yield from iter_report_diff(a[key], b[key], where, rtol, atol)
         return
     if isinstance(a, list) and isinstance(b, list):
         if len(a) != len(b):
             yield path, f"length {len(a)} -> {len(b)}"
             return
         for index, (item_a, item_b) in enumerate(zip(a, b)):
-            yield from iter_report_diff(item_a, item_b, f"{path}[{index}]")
+            yield from iter_report_diff(
+                item_a, item_b, f"{path}[{index}]", rtol, atol
+            )
         return
     if _is_number(a) and _is_number(b):
-        if a == b or (
-            isinstance(a, float)
-            and isinstance(b, float)
-            and math.isnan(a)
-            and math.isnan(b)
-        ):
+        from ..metrics.stats import within_tolerance
+
+        if within_tolerance(a, b, rtol=rtol, atol=atol):
             return
         if a and not math.isnan(a) and not math.isinf(a):
             delta = 100.0 * (b - a) / abs(a)

@@ -1,0 +1,187 @@
+"""``python -m repro.validate`` — paper-fidelity gates and differentials.
+
+Examples::
+
+    python -m repro.validate gate --baseline tests/golden/baselines
+    python -m repro.validate gate --baseline tests/golden/baselines \\
+        --only fig04 --report gate-report.json
+    python -m repro.validate gate --baseline tests/golden/baselines \\
+        --seeds 11,12,13          # unpaired (CI-overlap) mode
+    python -m repro.validate diff
+    python -m repro.validate diff --oracle mlc_kernels --oracle jobs --seed 7
+    python -m repro.validate baseline regen --baseline tests/golden/baselines
+
+Exit codes follow the store CLI convention: 0 = everything passed,
+1 = a gate or oracle failed (the structured report says which and why),
+2 = usage or environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..errors import ValidationError
+from .baseline import load_baseline_dir, regen_baselines
+from .differential import ORACLES, run_oracles
+from .gate import run_gates
+from .report import write_report
+
+
+def _parse_seeds(text: Optional[str]) -> Optional[List[int]]:
+    if text is None:
+        return None
+    try:
+        seeds = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise ValidationError(
+            f"--seeds wants a comma-separated integer list, got {text!r}"
+        ) from None
+    if not seeds:
+        raise ValidationError("--seeds must name at least one seed")
+    return seeds
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-validate",
+        description="Statistical paper-fidelity gates and differential "
+        "oracles (see docs/validation.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gate = sub.add_parser(
+        "gate", help="re-run experiments, compare against golden baselines"
+    )
+    gate.add_argument(
+        "--baseline",
+        required=True,
+        metavar="DIR",
+        help="directory of committed baseline JSON files",
+    )
+    gate.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="EXPERIMENT",
+        help="gate only this experiment id (repeatable)",
+    )
+    gate.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="override the baselines' scale (forces unpaired mode)",
+    )
+    gate.add_argument(
+        "--seeds",
+        type=str,
+        default=None,
+        metavar="S1,S2,...",
+        help="override the baselines' seeds (forces unpaired mode)",
+    )
+    gate.add_argument(
+        "--jobs", type=int, default=1, help="worker processes per experiment"
+    )
+    gate.add_argument(
+        "--report",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="also write the structured JSON report here",
+    )
+    gate.add_argument(
+        "--json", action="store_true", help="print the JSON report to stdout"
+    )
+
+    diff = sub.add_parser(
+        "diff", help="run A/B differential oracles (paired implementations)"
+    )
+    diff.add_argument(
+        "--oracle",
+        action="append",
+        default=None,
+        choices=sorted(ORACLES),
+        help="run only this oracle (repeatable; default: all)",
+    )
+    diff.add_argument(
+        "--seed", type=int, default=0, help="base seed for the replayed inputs"
+    )
+    diff.add_argument(
+        "--report",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="also write the structured JSON report here",
+    )
+    diff.add_argument(
+        "--json", action="store_true", help="print the JSON report to stdout"
+    )
+
+    baseline = sub.add_parser("baseline", help="maintain golden baselines")
+    baseline_sub = baseline.add_subparsers(dest="baseline_command", required=True)
+    regen = baseline_sub.add_parser(
+        "regen",
+        help="re-run the experiments and rewrite the baseline files "
+        "(preserves each file's operating point, tolerance and trends)",
+    )
+    regen.add_argument("--baseline", required=True, metavar="DIR")
+    regen.add_argument(
+        "--only", action="append", default=None, metavar="EXPERIMENT"
+    )
+    regen.add_argument("--jobs", type=int, default=1)
+    return parser
+
+
+def _emit(report, args) -> int:
+    payload = report.to_payload()
+    if args.report:
+        write_report(payload, args.report)
+        print(f"report written to {args.report}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.passed else 1
+
+
+def _cmd_gate(args) -> int:
+    baselines = load_baseline_dir(args.baseline, only=args.only)
+    report = run_gates(
+        baselines,
+        baseline_dir=args.baseline,
+        scale=args.scale,
+        seeds=_parse_seeds(args.seeds),
+        jobs=args.jobs,
+    )
+    return _emit(report, args)
+
+
+def _cmd_diff(args) -> int:
+    report = run_oracles(args.oracle, seed=args.seed)
+    return _emit(report, args)
+
+
+def _cmd_baseline_regen(args) -> int:
+    written = regen_baselines(args.baseline, only=args.only, jobs=args.jobs)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "gate":
+            return _cmd_gate(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
+        return _cmd_baseline_regen(args)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

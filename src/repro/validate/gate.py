@@ -1,0 +1,269 @@
+"""The gate engine: re-run experiments, compare against golden baselines.
+
+Two comparison modes, picked automatically:
+
+* **paired** — the gate runs at the baseline's own (scale, seeds).  The
+  simulations are seed-deterministic, so every per-seed value must
+  reproduce within ``rtol``/``atol``; this is the tight default that a
+  clean checkout passes bit-for-bit and a behavioral bug fails loudly.
+* **unpaired** — the gate runs at overridden seeds (or scale).  Values
+  are legitimately resampled, so the check loosens to a CI-overlap
+  criterion: the means must agree within ``atol + rtol·max(|means|) +
+  ci_scale·(ci_a + ci_b)``.
+
+Either way, the baseline's declared trend checks (the paper's
+qualitative orderings) are evaluated on the *seed-averaged* current
+values — a reproduction whose absolute numbers drift but whose ordering
+flips has lost fidelity even if every metric squeaks through.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..metrics.stats import mean_and_ci, within_tolerance
+from .baseline import (
+    Baseline,
+    MetricBaseline,
+    TrendSpec,
+    collect_samples,
+    summarize_samples,
+)
+from .report import GateOutcome, GateReport, MetricVerdict, TrendVerdict
+
+
+def _check_paired(
+    path: str,
+    base: MetricBaseline,
+    current: MetricBaseline,
+    rtol: float,
+    atol: float,
+) -> Optional[MetricVerdict]:
+    """Per-seed comparison; None means the metric passed."""
+    if len(current.values) != len(base.values):
+        detail = (
+            f"sample count changed: {len(base.values)} -> "
+            f"{len(current.values)}"
+        )
+    else:
+        bad = [
+            i
+            for i, (b, c) in enumerate(zip(base.values, current.values))
+            if not within_tolerance(c, b, rtol=rtol, atol=atol)
+        ]
+        if not bad:
+            return None
+        i = bad[0]
+        detail = (
+            f"{len(bad)}/{len(base.values)} seeds out of tolerance "
+            f"(rtol={rtol:g}, atol={atol:g}); first: seed#{i} "
+            f"{base.values[i]:g} -> {current.values[i]:g}"
+        )
+    return MetricVerdict(
+        path=path,
+        passed=False,
+        baseline_mean=base.mean,
+        baseline_ci95=base.ci95,
+        current_mean=current.mean,
+        current_ci95=current.ci95,
+        detail=detail,
+    )
+
+
+def _check_unpaired(
+    path: str,
+    base: MetricBaseline,
+    current: MetricBaseline,
+    rtol: float,
+    atol: float,
+    ci_scale: float,
+) -> Optional[MetricVerdict]:
+    """CI-overlap comparison on the means; None means the metric passed."""
+    widened = atol + ci_scale * (
+        (base.ci95 if math.isfinite(base.ci95) else 0.0)
+        + (current.ci95 if math.isfinite(current.ci95) else 0.0)
+    )
+    if within_tolerance(current.mean, base.mean, rtol=rtol, atol=widened):
+        return None
+    return MetricVerdict(
+        path=path,
+        passed=False,
+        baseline_mean=base.mean,
+        baseline_ci95=base.ci95,
+        current_mean=current.mean,
+        current_ci95=current.ci95,
+        detail=(
+            f"mean departed the baseline CI band: {base.mean:g} "
+            f"(±{base.ci95:g}) -> {current.mean:g} (±{current.ci95:g}), "
+            f"allowed ±({widened:g} + {rtol:g} rel)"
+        ),
+    )
+
+
+def _seed_means(samples: Sequence[Dict[str, float]]) -> Dict[str, float]:
+    """Across-seed mean per path (NaN where a seed lacks the path)."""
+    paths = sorted(set().union(*samples)) if samples else []
+    return {
+        path: mean_and_ci([s.get(path, math.nan) for s in samples])[0]
+        for path in paths
+    }
+
+
+def _evaluate_trend(
+    trend: TrendSpec, means: Dict[str, float]
+) -> TrendVerdict:
+    if trend.kind == "series_order":
+        lower_paths = sorted(
+            p for p in means if p.startswith(f"series.{trend.lower}[")
+        )
+        if not lower_paths:
+            return TrendVerdict(
+                name=trend.name,
+                kind=trend.kind,
+                passed=False,
+                detail=f"no series paths for {trend.lower!r} in the report",
+            )
+        pairs = []
+        for lower_path in lower_paths:
+            suffix = lower_path[len(f"series.{trend.lower}") :]
+            upper_path = f"series.{trend.upper}{suffix}"
+            if upper_path not in means:
+                return TrendVerdict(
+                    name=trend.name,
+                    kind=trend.kind,
+                    passed=False,
+                    detail=f"missing counterpart path {upper_path!r}",
+                )
+            pairs.append((lower_path, upper_path))
+    elif trend.kind == "path_order":
+        missing = [p for p in (trend.lower, trend.upper) if p not in means]
+        if missing:
+            return TrendVerdict(
+                name=trend.name,
+                kind=trend.kind,
+                passed=False,
+                detail=f"missing path(s) {missing}",
+            )
+        pairs = [(trend.lower, trend.upper)]
+    else:  # pragma: no cover - from_payload rejects unknown kinds
+        return TrendVerdict(
+            name=trend.name, kind=trend.kind, passed=False,
+            detail=f"unknown trend kind {trend.kind!r}",
+        )
+
+    for lower_path, upper_path in pairs:
+        lower_value = means[lower_path]
+        upper_value = means[upper_path]
+        bound = upper_value * (1.0 + trend.rel_margin) + trend.abs_margin
+        if math.isnan(lower_value) or math.isnan(upper_value):
+            return TrendVerdict(
+                name=trend.name, kind=trend.kind, passed=False,
+                detail=f"NaN operand: {lower_path}={lower_value:g}, "
+                f"{upper_path}={upper_value:g}",
+            )
+        if lower_value > bound:
+            return TrendVerdict(
+                name=trend.name,
+                kind=trend.kind,
+                passed=False,
+                detail=(
+                    f"ordering flipped: {lower_path} ({lower_value:g}) > "
+                    f"{upper_path} ({upper_value:g}, bound {bound:g})"
+                ),
+            )
+    return TrendVerdict(
+        name=trend.name, kind=trend.kind, passed=True,
+        detail=f"{len(pairs)} ordered pair(s) hold",
+    )
+
+
+def run_gate(
+    baseline: Baseline,
+    scale: Optional[float] = None,
+    seeds: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+    samples: Optional[Sequence[Dict[str, float]]] = None,
+) -> GateOutcome:
+    """Gate one baseline; re-runs its experiment unless ``samples`` given.
+
+    ``samples`` (pre-flattened per-seed metric dicts) lets callers that
+    already ran the experiment — the runner's ``--validate`` flag, the
+    mutation tests — skip the re-execution; they are then assumed to
+    come from the baseline's own operating point (paired mode).
+    """
+    gate_scale = baseline.scale if scale is None else scale
+    gate_seeds = list(baseline.seeds if seeds is None else seeds)
+    paired = gate_scale == baseline.scale and gate_seeds == baseline.seeds
+    if samples is None:
+        samples = collect_samples(
+            baseline.experiment_id,
+            gate_scale,
+            gate_seeds,
+            baseline.kwargs,
+            jobs=jobs,
+        )
+    current = summarize_samples(samples)
+    tolerance = baseline.tolerance
+
+    failures: List[MetricVerdict] = []
+    checked = 0
+    nan_summary = MetricBaseline.from_values([])
+    for path in sorted(set(baseline.metrics) | set(current)):
+        checked += 1
+        base_summary = baseline.metrics.get(path)
+        current_summary = current.get(path)
+        if base_summary is None or current_summary is None:
+            side = "baseline" if base_summary is None else "current report"
+            failures.append(
+                MetricVerdict(
+                    path=path,
+                    passed=False,
+                    baseline_mean=(base_summary or nan_summary).mean,
+                    baseline_ci95=(base_summary or nan_summary).ci95,
+                    current_mean=(current_summary or nan_summary).mean,
+                    current_ci95=(current_summary or nan_summary).ci95,
+                    detail=f"metric path missing from the {side}",
+                )
+            )
+            continue
+        if paired:
+            verdict = _check_paired(
+                path, base_summary, current_summary,
+                tolerance.rtol, tolerance.atol,
+            )
+        else:
+            verdict = _check_unpaired(
+                path, base_summary, current_summary,
+                tolerance.rtol, tolerance.atol, tolerance.ci_scale,
+            )
+        if verdict is not None:
+            failures.append(verdict)
+
+    means = _seed_means(samples)
+    trends = [_evaluate_trend(trend, means) for trend in baseline.trends]
+    return GateOutcome(
+        experiment_id=baseline.experiment_id,
+        baseline_path=baseline.source_path or "<in-memory>",
+        scale=gate_scale,
+        seeds=gate_seeds,
+        mode="paired" if paired else "unpaired",
+        metrics_checked=checked,
+        metric_failures=failures,
+        trends=trends,
+    )
+
+
+def run_gates(
+    baselines: Sequence[Baseline],
+    baseline_dir: str = "",
+    scale: Optional[float] = None,
+    seeds: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+) -> GateReport:
+    """Gate every baseline; aggregate into one report."""
+    outcomes = [
+        run_gate(baseline, scale=scale, seeds=seeds, jobs=jobs)
+        for baseline in baselines
+    ]
+    return GateReport(baseline_dir=baseline_dir, outcomes=outcomes)

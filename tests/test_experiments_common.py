@@ -49,6 +49,21 @@ def test_shared_workload_cached_and_probe_keyed():
     assert any(s.member_id == probe.member_id for s in probed.sessions)
 
 
+def test_shared_workload_keyed_by_topology():
+    # scale 0.02 x size 5000 and scale 0.05 x size 2000 coincide on every
+    # workload field (100 members, same derived seed) but their underlays
+    # differ — the cache must not hand one's attach nodes to the other.
+    small = SweepSettings(scale=0.02, seed=3).config(5000)
+    large = SweepSettings(scale=0.05, seed=3).config(2000)
+    assert small.workload == large.workload
+    assert small.topology != large.topology
+    w_small = shared_workload(small)
+    w_large = shared_workload(large)
+    assert w_small is not w_large
+    stub_ids = set(shared_topology(large)[0].stub_nodes)
+    assert all(s.underlay_node in stub_ids for s in w_large.sessions)
+
+
 def test_churn_run_cached_by_full_key():
     a = churn_run("min-depth", 2000, TINY)
     b = churn_run("min-depth", 2000, TINY)

@@ -6,12 +6,14 @@ import numpy as np
 import pytest
 
 from repro.metrics.stats import (
+    bootstrap_ci_95,
     cdf_at,
     cdf_points,
     confidence_interval_95,
     describe,
     mean_and_ci,
     t_critical_95,
+    within_tolerance,
 )
 
 
@@ -19,13 +21,32 @@ def test_t_table_values():
     assert t_critical_95(1) == pytest.approx(12.706)
     assert t_critical_95(10) == pytest.approx(2.228)
     assert t_critical_95(100) == pytest.approx(1.96)
+
+
+def test_t_critical_df_zero_is_unbounded():
+    # A single sample (df == 0) has an unbounded interval, not an error:
+    # callers can feed ``data.size - 1`` without special-casing singletons.
+    assert t_critical_95(0) == math.inf
     with pytest.raises(ValueError):
-        t_critical_95(0)
+        t_critical_95(-1)
 
 
 def test_ci_zero_for_tiny_samples():
     assert confidence_interval_95([]) == 0.0
     assert confidence_interval_95([5.0]) == 0.0
+
+
+def test_ci_exactly_zero_for_identical_samples():
+    # 0.1 cannot be represented exactly; a naive std() accumulates
+    # pairwise-summation noise and reports a ~1e-17 width.  The gate
+    # engine treats CI widths as real dispersion, so identical samples
+    # must produce a width of exactly 0.0.
+    assert confidence_interval_95([0.1] * 30) == 0.0
+    assert confidence_interval_95([1e16, 1e16, 1e16]) == 0.0
+
+
+def test_ci_propagates_nan():
+    assert math.isnan(confidence_interval_95([1.0, math.nan, 3.0]))
 
 
 def test_ci_matches_formula():
@@ -80,3 +101,52 @@ def test_describe_empty_and_singleton():
     assert empty.count == 0 and math.isnan(empty.mean)
     one = describe([7.0])
     assert one.count == 1 and one.std == 0.0
+
+
+def test_bootstrap_ci_basic():
+    rng = np.random.default_rng(7)
+    sample = rng.normal(10.0, 2.0, size=40)
+    lo, hi = bootstrap_ci_95(sample, seed=3)
+    assert lo < sample.mean() < hi
+    # Same seed -> same interval (baselines must be reproducible).
+    assert (lo, hi) == bootstrap_ci_95(sample, seed=3)
+    assert (lo, hi) != bootstrap_ci_95(sample, seed=4)
+
+
+def test_bootstrap_ci_degenerate_samples():
+    lo, hi = bootstrap_ci_95([])
+    assert math.isnan(lo) and math.isnan(hi)
+    assert bootstrap_ci_95([4.5]) == (4.5, 4.5)
+    lo, hi = bootstrap_ci_95([2.0, 2.0, 2.0])
+    assert lo == hi == 2.0
+
+
+def test_within_tolerance_exact_and_relative():
+    assert within_tolerance(1.0, 1.0)
+    assert not within_tolerance(1.0, 1.0001)
+    assert within_tolerance(1.0, 1.05, rtol=0.05)
+    assert not within_tolerance(1.0, 1.2, rtol=0.05)
+    assert within_tolerance(0.0, 0.01, atol=0.02)
+    assert not within_tolerance(0.0, 0.03, atol=0.02)
+
+
+def test_within_tolerance_is_symmetric():
+    # rtol is applied to max(|a|, |b|), so swapping the operands can
+    # never flip the verdict.  0.048 sits between 5/105 and 5/100, where
+    # an asymmetric "rtol * |a|" formula would disagree with its mirror.
+    for a, b in [(100.0, 105.0), (-3.0, -3.2), (0.0, 1e-9)]:
+        for rtol in (0.0, 0.048, 0.05):
+            assert within_tolerance(a, b, rtol=rtol) == within_tolerance(
+                b, a, rtol=rtol
+            )
+
+
+def test_within_tolerance_nan_and_inf():
+    assert within_tolerance(math.nan, math.nan)
+    assert not within_tolerance(math.nan, 1.0, rtol=10.0, atol=10.0)
+    assert not within_tolerance(1.0, math.nan, rtol=10.0, atol=10.0)
+    assert within_tolerance(math.inf, math.inf)
+    assert not within_tolerance(math.inf, -math.inf)
+    assert not within_tolerance(math.inf, 1e300, rtol=1.0)
+    with pytest.raises(ValueError):
+        within_tolerance(1.0, 1.0, rtol=-0.1)

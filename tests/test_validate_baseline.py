@@ -1,0 +1,155 @@
+"""Baseline format: flattening, round-trips, schema versioning, regen."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.validate.baseline import (
+    BASELINE_SCHEMA_VERSION,
+    DEFAULT_SPECS,
+    Baseline,
+    MetricBaseline,
+    Tolerance,
+    TrendSpec,
+    flatten_numeric,
+    load_baseline,
+    load_baseline_dir,
+    save_baseline,
+    summarize_samples,
+)
+
+
+class TestFlattenNumeric:
+    def test_store_diff_path_convention(self):
+        data = {
+            "series": {"rost": [1.0, 2.0], "longest-first": [3.0, 4.0]},
+            "sizes": [2000, 5000],
+            "label": "ignored",
+            "flag": True,
+        }
+        flat = flatten_numeric(data)
+        assert flat["series.rost[0]"] == 1.0
+        assert flat["series.longest-first[1]"] == 4.0
+        assert flat["sizes[0]"] == 2000.0
+        # Strings and booleans are not metrics.
+        assert "label" not in flat
+        assert "flag" not in flat
+
+    def test_nested_and_int_keys(self):
+        flat = flatten_numeric({1: {"a": [5]}, "z": 0.5})
+        assert flat == {"1.a[0]": 5.0, "z": 0.5}
+
+    def test_scalar_root(self):
+        assert flatten_numeric(3.5) == {"": 3.5}
+        assert flatten_numeric("text") == {}
+
+
+class TestSummarize:
+    def test_union_of_paths_with_nan_fill(self):
+        summaries = summarize_samples([{"a": 1.0, "b": 2.0}, {"a": 3.0}])
+        assert summaries["a"].mean == 2.0
+        assert summaries["a"].values == (1.0, 3.0)
+        # 'b' missing from the second seed surfaces as NaN, not silence.
+        assert math.isnan(summaries["b"].mean)
+
+    def test_empty(self):
+        assert summarize_samples([]) == {}
+
+
+def _tiny_baseline() -> Baseline:
+    return Baseline(
+        experiment_id="fig99",
+        scale=0.25,
+        seeds=[1, 2],
+        kwargs={"sizes": [100]},
+        tolerance=Tolerance(rtol=0.1, atol=0.5, ci_scale=2.0),
+        trends=[
+            TrendSpec(
+                name="a-beats-b", kind="series_order", lower="a", upper="b"
+            )
+        ],
+        metrics={
+            "series.a[0]": MetricBaseline.from_values([1.0, 2.0]),
+            "series.b[0]": MetricBaseline.from_values([5.0, 6.0]),
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_everything(self, tmp_path):
+        path = str(tmp_path / "fig99.json")
+        original = _tiny_baseline()
+        save_baseline(original, path)
+        loaded = load_baseline(path)
+        assert loaded.experiment_id == "fig99"
+        assert loaded.scale == 0.25
+        assert loaded.seeds == [1, 2]
+        assert loaded.kwargs == {"sizes": [100]}
+        assert loaded.tolerance == Tolerance(rtol=0.1, atol=0.5, ci_scale=2.0)
+        assert loaded.trends == original.trends
+        assert loaded.metrics["series.a[0]"].values == (1.0, 2.0)
+        assert loaded.metrics["series.a[0]"].mean == 1.5
+        assert loaded.source_path == path
+
+    def test_schema_version_mismatch_is_rejected(self, tmp_path):
+        path = str(tmp_path / "old.json")
+        payload = _tiny_baseline().to_payload()
+        payload["schema_version"] = BASELINE_SCHEMA_VERSION + 1
+        path_obj = tmp_path / "old.json"
+        path_obj.write_text(json.dumps(payload))
+        with pytest.raises(ValidationError, match="schema version"):
+            load_baseline(path)
+
+    def test_malformed_file_is_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_baseline(str(bad))
+        missing_fields = tmp_path / "missing.json"
+        missing_fields.write_text(
+            json.dumps({"schema_version": BASELINE_SCHEMA_VERSION})
+        )
+        with pytest.raises(ValidationError, match="malformed"):
+            load_baseline(str(missing_fields))
+
+    def test_unknown_trend_kind_is_rejected(self):
+        with pytest.raises(ValidationError, match="trend kind"):
+            TrendSpec.from_payload(
+                {"name": "x", "kind": "sorted", "lower": "a", "upper": "b"}
+            )
+
+
+class TestLoadDir:
+    def test_only_filter_and_missing_id(self, tmp_path):
+        for name in ("fig98", "fig99"):
+            baseline = _tiny_baseline()
+            baseline.experiment_id = name
+            save_baseline(baseline, str(tmp_path / f"{name}.json"))
+        loaded = load_baseline_dir(str(tmp_path), only=["fig99"])
+        assert [b.experiment_id for b in loaded] == ["fig99"]
+        with pytest.raises(ValidationError, match="fig97"):
+            load_baseline_dir(str(tmp_path), only=["fig97"])
+
+    def test_empty_and_missing_directories(self, tmp_path):
+        with pytest.raises(ValidationError, match="does not exist"):
+            load_baseline_dir(str(tmp_path / "nope"))
+        with pytest.raises(ValidationError, match="no baseline files"):
+            load_baseline_dir(str(tmp_path))
+
+
+class TestCommittedBaselines:
+    """The files under tests/golden/baselines/ stay loadable and sane."""
+
+    def test_all_four_figures_load(self):
+        baselines = load_baseline_dir("tests/golden/baselines")
+        ids = [b.experiment_id for b in baselines]
+        assert ids == ["fig04", "fig07", "fig08", "fig14"]
+        for baseline in baselines:
+            assert baseline.seeds == DEFAULT_SPECS[baseline.experiment_id]["seeds"]
+            assert baseline.metrics, baseline.experiment_id
+            assert baseline.trends, baseline.experiment_id
+            for path, summary in baseline.metrics.items():
+                assert len(summary.values) == len(baseline.seeds), path
+                assert summary.bootstrap_lo <= summary.bootstrap_hi

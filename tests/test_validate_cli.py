@@ -1,0 +1,153 @@
+"""``python -m repro.validate`` CLI: gate/diff/baseline regen, exit codes."""
+
+import json
+
+import pytest
+
+from repro.experiments.common import clear_caches
+from repro.validate.baseline import build_baseline, load_baseline, save_baseline
+from repro.validate.cli import main
+
+POINT = {"scale": 0.05, "seeds": [1, 2], "kwargs": {"sizes": [2000]}}
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.fixture(scope="module")
+def tiny_baseline_dir(tmp_path_factory):
+    """A baseline directory for fig07 at a ~1 s operating point."""
+    clear_caches()
+    directory = tmp_path_factory.mktemp("baselines")
+    baseline = build_baseline("fig07", **POINT)
+    save_baseline(baseline, str(directory / "fig07.json"))
+    return directory
+
+
+class TestGateCommand:
+    def test_pass_exits_zero_with_summary(self, tiny_baseline_dir, capsys):
+        code = main(["gate", "--baseline", str(tiny_baseline_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS fig07" in out
+        assert "gate: PASS (1/1 baselines)" in out
+
+    def test_json_and_report_outputs(self, tiny_baseline_dir, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "gate",
+                "--baseline",
+                str(tiny_baseline_dir),
+                "--json",
+                "--report",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        stdout_payload = json.loads(capsys.readouterr().out)
+        file_payload = json.loads(report_path.read_text())
+        assert stdout_payload == file_payload
+        assert file_payload["kind"] == "gate"
+        assert file_payload["passed"] is True
+        assert file_payload["gates"][0]["experiment_id"] == "fig07"
+
+    def test_tampered_baseline_fails_with_structured_report(
+        self, tiny_baseline_dir, tmp_path, capsys
+    ):
+        baseline = load_baseline(str(tiny_baseline_dir / "fig07.json"))
+        payload = baseline.to_payload()
+        for summary in payload["metrics"].values():
+            summary["values"] = [v * 2 for v in summary["values"]]
+            summary["mean"] *= 2
+        bad_dir = tmp_path / "tampered"
+        bad_dir.mkdir()
+        (bad_dir / "fig07.json").write_text(json.dumps(payload))
+        code = main(["gate", "--baseline", str(bad_dir), "--json"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["passed"] is False
+        failures = report["gates"][0]["metric_failures"]
+        assert failures and all(f["detail"] for f in failures)
+
+    def test_missing_directory_is_usage_error(self, tmp_path, capsys):
+        code = main(["gate", "--baseline", str(tmp_path / "nope")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_seed_list_is_usage_error(self, tiny_baseline_dir, capsys):
+        code = main(
+            ["gate", "--baseline", str(tiny_baseline_dir), "--seeds", "1,x"]
+        )
+        assert code == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+
+class TestDiffCommand:
+    def test_single_oracle_json(self, capsys):
+        code = main(["diff", "--oracle", "delay_oracle", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "differential"
+        assert payload["passed"] is True
+        assert [o["oracle"] for o in payload["oracles"]] == ["delay_oracle"]
+
+    def test_unknown_oracle_rejected_by_argparse(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["diff", "--oracle", "nope"])
+        assert excinfo.value.code == 2
+
+    def test_report_file(self, tmp_path, capsys):
+        report_path = tmp_path / "diff.json"
+        code = main(
+            [
+                "diff",
+                "--oracle",
+                "episode_pricing",
+                "--report",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["oracles"][0]["passed"] is True
+        assert "PASS episode_pricing" in capsys.readouterr().out
+
+
+class TestBaselineRegen:
+    def test_regen_preserves_operating_point_and_declarations(
+        self, tiny_baseline_dir, capsys
+    ):
+        before = load_baseline(str(tiny_baseline_dir / "fig07.json"))
+        code = main(
+            [
+                "baseline",
+                "regen",
+                "--baseline",
+                str(tiny_baseline_dir),
+                "--only",
+                "fig07",
+            ]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        after = load_baseline(str(tiny_baseline_dir / "fig07.json"))
+        assert after.scale == before.scale
+        assert after.seeds == before.seeds
+        assert after.kwargs == before.kwargs
+        assert after.tolerance == before.tolerance
+        # Deterministic experiments: a regen reproduces the same values.
+        assert after.metrics["series.rost[0]"].values == (
+            before.metrics["series.rost[0]"].values
+        )
+
+    def test_regen_unknown_experiment_is_error(self, tmp_path, capsys):
+        code = main(
+            ["baseline", "regen", "--baseline", str(tmp_path), "--only", "fig99"]
+        )
+        assert code == 2
+        assert "no existing baseline or default spec" in capsys.readouterr().err

@@ -1,0 +1,196 @@
+"""Gate engine: paired/unpaired comparison, trends, clean-HEAD acceptance.
+
+The committed baselines are regenerated — after an *intentional*
+behavior change — with::
+
+    REPRO_REGEN_BASELINES=1 PYTHONPATH=src python -m pytest tests/test_validate_gate.py
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.validate.baseline import (
+    ENV_REGEN_BASELINES,
+    Baseline,
+    MetricBaseline,
+    Tolerance,
+    TrendSpec,
+    load_baseline_dir,
+    regen_baselines,
+)
+from repro.validate.gate import run_gate, run_gates
+
+BASELINE_DIR = "tests/golden/baselines"
+
+
+def _baseline(metrics, trends=(), tolerance=None, seeds=(1, 2)):
+    return Baseline(
+        experiment_id="figXX",
+        scale=0.5,
+        seeds=list(seeds),
+        tolerance=tolerance or Tolerance(rtol=0.05, atol=1e-9),
+        trends=list(trends),
+        metrics={
+            path: MetricBaseline.from_values(values)
+            for path, values in metrics.items()
+        },
+    )
+
+
+class TestPairedComparison:
+    def test_identical_samples_pass(self):
+        baseline = _baseline({"a": [1.0, 2.0]})
+        outcome = run_gate(baseline, samples=[{"a": 1.0}, {"a": 2.0}])
+        assert outcome.mode == "paired"
+        assert outcome.passed
+        assert outcome.metrics_checked == 1
+
+    def test_within_rtol_passes_beyond_fails(self):
+        baseline = _baseline({"a": [100.0, 200.0]})
+        assert run_gate(
+            baseline, samples=[{"a": 104.0}, {"a": 208.0}]
+        ).passed
+        outcome = run_gate(baseline, samples=[{"a": 106.0}, {"a": 200.0}])
+        assert not outcome.passed
+        (verdict,) = outcome.metric_failures
+        assert verdict.path == "a"
+        assert "1/2 seeds out of tolerance" in verdict.detail
+
+    def test_sample_count_change_fails(self):
+        baseline = _baseline({"a": [1.0, 2.0]})
+        outcome = run_gate(baseline, samples=[{"a": 1.0}])
+        assert not outcome.passed
+        assert "sample count changed" in outcome.metric_failures[0].detail
+
+    def test_missing_paths_fail_both_directions(self):
+        baseline = _baseline({"a": [1.0, 1.0]})
+        outcome = run_gate(
+            baseline, samples=[{"b": 1.0}, {"b": 1.0}]
+        )
+        details = {v.path: v.detail for v in outcome.metric_failures}
+        assert "missing from the current report" in details["a"]
+        assert "missing from the baseline" in details["b"]
+
+
+class TestUnpairedComparison:
+    def test_overridden_seeds_loosen_to_ci_overlap(self):
+        baseline = _baseline({"a": [100.0, 104.0]})  # mean 102, wide CI
+        outcome = run_gate(
+            baseline, seeds=[9, 10], samples=[{"a": 110.0}, {"a": 112.0}]
+        )
+        assert outcome.mode == "unpaired"
+        assert outcome.passed  # CI bands absorb the shift
+
+    def test_far_mean_still_fails(self):
+        baseline = _baseline({"a": [100.0, 104.0]})
+        outcome = run_gate(
+            baseline, seeds=[9, 10], samples=[{"a": 300.0}, {"a": 310.0}]
+        )
+        assert not outcome.passed
+        assert "departed the baseline CI band" in (
+            outcome.metric_failures[0].detail
+        )
+
+
+class TestTrends:
+    def test_series_order_holds_and_flips(self):
+        trend = TrendSpec(
+            name="a-beats-b", kind="series_order", lower="a", upper="b"
+        )
+        baseline = _baseline(
+            {
+                "series.a[0]": [1.0, 1.0],
+                "series.b[0]": [2.0, 2.0],
+            },
+            trends=[trend],
+        )
+        good = run_gate(
+            baseline,
+            samples=[
+                {"series.a[0]": 1.0, "series.b[0]": 2.0},
+                {"series.a[0]": 1.0, "series.b[0]": 2.0},
+            ],
+        )
+        assert good.passed
+        flipped = run_gate(
+            baseline,
+            samples=[
+                {"series.a[0]": 3.0, "series.b[0]": 2.0},
+                {"series.a[0]": 3.0, "series.b[0]": 2.0},
+            ],
+        )
+        trend_verdicts = [t for t in flipped.trends if not t.passed]
+        assert len(trend_verdicts) == 1
+        assert "ordering flipped" in trend_verdicts[0].detail
+
+    def test_series_order_missing_counterpart(self):
+        trend = TrendSpec(
+            name="a-beats-b", kind="series_order", lower="a", upper="b"
+        )
+        baseline = _baseline({"series.a[0]": [1.0, 1.0]}, trends=[trend])
+        outcome = run_gate(
+            baseline,
+            samples=[{"series.a[0]": 1.0}, {"series.a[0]": 1.0}],
+        )
+        assert not outcome.trends[0].passed
+        assert "missing counterpart" in outcome.trends[0].detail
+
+    def test_path_order_with_margins(self):
+        trend = TrendSpec(
+            name="x-below-y",
+            kind="path_order",
+            lower="x",
+            upper="y",
+            rel_margin=0.5,
+        )
+        baseline = _baseline({"x": [1.0, 1.0], "y": [1.0, 1.0]}, trends=[trend])
+        # 1.4 <= 1.0 * 1.5: inside the declared margin.
+        outcome = run_gate(baseline, samples=[{"x": 1.4, "y": 1.0}] * 2)
+        assert outcome.trends[0].passed
+        outcome = run_gate(baseline, samples=[{"x": 1.6, "y": 1.0}] * 2)
+        assert not outcome.trends[0].passed
+
+    def test_nan_operand_fails_the_trend(self):
+        trend = TrendSpec(
+            name="x-below-y", kind="path_order", lower="x", upper="y"
+        )
+        baseline = _baseline({"x": [1.0, 1.0], "y": [2.0, 2.0]}, trends=[trend])
+        outcome = run_gate(
+            baseline, samples=[{"x": 1.0, "y": math.nan}] * 2
+        )
+        assert not outcome.trends[0].passed
+        assert "NaN" in outcome.trends[0].detail
+
+
+class TestReportShape:
+    def test_payload_carries_context_for_triage(self):
+        baseline = _baseline({"a": [1.0, 2.0]})
+        outcome = run_gate(baseline, samples=[{"a": 9.0}, {"a": 9.0}])
+        payload = outcome.to_payload()
+        assert payload["mode"] == "paired"
+        assert payload["metrics"] == {"checked": 1, "failed": 1}
+        failure = payload["metric_failures"][0]
+        assert failure["baseline"]["mean"] == 1.5
+        assert failure["current"]["mean"] == 9.0
+        assert failure["detail"]
+
+
+class TestCleanHead:
+    """The acceptance criterion: gates pass on an unmodified checkout."""
+
+    def test_fig07_gate_passes_on_clean_head(self):
+        if os.environ.get(ENV_REGEN_BASELINES):
+            written = regen_baselines(BASELINE_DIR)
+            assert written, "regen produced no baseline files"
+        baselines = load_baseline_dir(BASELINE_DIR, only=["fig07"])
+        report = run_gates(baselines, baseline_dir=BASELINE_DIR)
+        assert report.passed, report.render_text()
+        assert report.outcomes[0].mode == "paired"
+
+    @pytest.mark.slow
+    def test_all_gates_pass_on_clean_head(self):
+        baselines = load_baseline_dir(BASELINE_DIR)
+        report = run_gates(baselines, baseline_dir=BASELINE_DIR, jobs=2)
+        assert report.passed, report.render_text()
