@@ -32,6 +32,7 @@ from . import (  # noqa: F401  (import-for-side-effect)
     fig14_rost_cer,
     faults_campaign,
     messages,
+    multitree_campaign,
     multitree_ext,
     rescue_ext,
 )

@@ -90,6 +90,47 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_validate_argument(faults)
     _add_obs_arguments(faults)
     _add_store_arguments(faults)
+
+    multitree = sub.add_parser(
+        "multitree_campaign",
+        help="run a K-tree resilience campaign (see docs/multitree.md)",
+    )
+    multitree.add_argument(
+        "spec_path",
+        nargs="?",
+        default=None,
+        metavar="spec",
+        help="campaign spec file (.json or .toml) or inline JSON object "
+        "(default: the built-in K-tree resilience grid)",
+    )
+    multitree.add_argument(
+        "--spec",
+        type=str,
+        default=None,
+        help="alternative to the positional spec argument",
+    )
+    multitree.add_argument("--scale", type=float, default=1.0)
+    multitree.add_argument("--seed", type=int, default=42)
+    multitree.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="run every stripe simulation under the non-strict runtime "
+        "invariant checker; violations are reported in the summary and "
+        "make the command exit non-zero",
+    )
+    multitree.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the (scenario x protocol x K x seed) "
+        "grid; reports are byte-identical at any value",
+    )
+    multitree.add_argument("--job-timeout", type=float, default=None)
+    multitree.add_argument("--out", type=str, default=None)
+    multitree.add_argument("--json", type=str, default=None)
+    _add_validate_argument(multitree)
+    _add_obs_arguments(multitree)
+    _add_store_arguments(multitree)
     return parser
 
 
@@ -544,6 +585,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "faults_campaign":
             return _run_faults_campaign(args)
+        if args.command == "multitree_campaign":
+            return _run_multitree_campaign(args)
         if args.command == "run":
             get_experiment(args.experiment_id)  # fail fast on unknown ids
             return _run_ids([args.experiment_id], args)
@@ -585,6 +628,51 @@ def _run_faults_campaign(args) -> int:
     recorder.finish(
         name=f"faults_campaign {campaign.name}",
         command="repro.experiments faults_campaign",
+        params={
+            "spec": campaign.to_spec(),
+            "scale": args.scale,
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "check_invariants": args.check_invariants,
+        },
+        report_text=emitter.session_content,
+        json_data=report.data,
+    )
+    return 1 if (violations or not validated) else 0
+
+
+def _run_multitree_campaign(args) -> int:
+    from ..multitree.campaign import resolve_multitree_campaign, run_campaign
+
+    spec = args.spec_path if args.spec_path is not None else args.spec
+    campaign = resolve_multitree_campaign(spec)
+    recorder = _StoreRunRecorder()
+    report = run_campaign(
+        campaign,
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        timeout_s=args.job_timeout,
+        check_invariants=args.check_invariants,
+    )
+    emitter = _Emitter(args.out)
+    emitter.emit(report.table)
+    violations = report.data.get("invariant_violations")
+    if args.check_invariants:
+        runs = len(report.data.get("runs", []))
+        emitter.emit(
+            f"invariants: {violations or 0} violation(s) across {runs} "
+            f"checked run(s)"
+        )
+    collector = _ArtifactCollector()
+    collector.collect(report)
+    collector.emit_sections(args, emitter, report.data)
+    validated = _run_validation(args, emitter, report.data)
+    if args.json:
+        _atomic_write(args.json, json.dumps(report.data, indent=2, default=str))
+    recorder.finish(
+        name=f"multitree_campaign {campaign.name}",
+        command="repro.experiments multitree_campaign",
         params={
             "spec": campaign.to_spec(),
             "scale": args.scale,

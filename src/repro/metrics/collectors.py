@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .stats import mean_and_ci
 
@@ -225,6 +225,19 @@ class ResilienceMetrics:
         self.stream_loss_seconds = 0.0
         #: member_id -> (detach time, cause) for currently-open outages.
         self._open_outages: Dict[int, Tuple[float, str]] = {}
+        #: member_id -> closed (start, end) outage intervals, unclipped
+        #: (consumers — e.g. the multi-tree stripe accounting — clip to
+        #: their own observation windows).
+        self.outage_intervals: Dict[int, List[Tuple[float, float]]] = {}
+        #: Optional hooks: ``outage_opened(t, member_id, cause)`` fires
+        #: only when a genuinely new outage opens (re-marks of an already
+        #: detached member keep the earliest mark and stay silent);
+        #: ``outage_closed(start, end, member_id, cause)`` fires on every
+        #: actual close — reattach, departure, or end-of-run ``finish``.
+        self.outage_opened: Optional[Callable[[float, int, str], None]] = None
+        self.outage_closed: Optional[
+            Callable[[float, float, int, str], None]
+        ] = None
 
     # -- recording -------------------------------------------------------------
 
@@ -246,7 +259,11 @@ class ResilienceMetrics:
 
     def mark_detached(self, t: float, member_id: int, cause: str) -> None:
         """An orphan lost its parent at ``t`` (keeps the earliest mark)."""
-        self._open_outages.setdefault(member_id, (t, cause))
+        if member_id in self._open_outages:
+            return
+        self._open_outages[member_id] = (t, cause)
+        if self.outage_opened is not None:
+            self.outage_opened(t, member_id, cause)
 
     def record_reattach(self, t: float, member_id: int) -> None:
         opened = self._open_outages.pop(member_id, None)
@@ -255,6 +272,7 @@ class ResilienceMetrics:
         start, cause = opened
         self.repair_times.setdefault(cause, []).append(t - start)
         self._account_detached(start, t)
+        self._close_interval(start, t, member_id, cause)
 
     def record_stream_loss(
         self, start: float, end: float, members: int, loss_rate: float
@@ -270,13 +288,16 @@ class ResilienceMetrics:
         """A member left; close any outage it never repaired."""
         opened = self._open_outages.pop(member_id, None)
         if opened is not None:
-            self._account_detached(opened[0], t)
+            start, cause = opened
+            self._account_detached(start, t)
+            self._close_interval(start, t, member_id, cause)
 
     def finish(self, t: float) -> None:
         """End of run: members still detached stayed so through ``t``."""
         for member_id in sorted(self._open_outages):
-            start, _ = self._open_outages[member_id]
+            start, cause = self._open_outages[member_id]
             self._account_detached(start, t)
+            self._close_interval(start, t, member_id, cause)
         self._open_outages.clear()
 
     def _account_detached(self, start: float, end: float) -> None:
@@ -284,6 +305,14 @@ class ResilienceMetrics:
         hi = min(end, self.window_end)
         if hi > lo:
             self.detached_seconds += hi - lo
+
+    def _close_interval(
+        self, start: float, end: float, member_id: int, cause: str
+    ) -> None:
+        if end > start:
+            self.outage_intervals.setdefault(member_id, []).append((start, end))
+        if self.outage_closed is not None:
+            self.outage_closed(start, end, member_id, cause)
 
     # -- derived metrics ----------------------------------------------------------
 

@@ -12,17 +12,30 @@ the multiple-description-coding resilience argument the paper cites.
 
 * :mod:`repro.multitree.intervals` — outage-interval algebra (union,
   intersection, clipping);
-* :mod:`repro.multitree.driver` — the K-tree churn orchestrator and its
-  stripe-quality metrics.
+* :mod:`repro.multitree.metrics` — cross-stripe blackout/quality
+  aggregation and time-binned resilience series;
+* :mod:`repro.multitree.faults` — correlated fault planning (one kill,
+  all stripes);
+* :mod:`repro.multitree.driver` — the K-tree orchestrator composing
+  protocols, repair schemes and fault schedules per stripe;
+* :mod:`repro.multitree.campaign` — the ``multitree_resilience``
+  scenario grid (K x protocol x fault scenario) and its report.
 """
 
-from .driver import MultiTreeResult, MultiTreeSimulation
+from .driver import MultiTreeResult, MultiTreeSimulation, home_tree
+from .faults import FaultPlan, StripeFaultPlanner
 from .intervals import clip_intervals, intersect_many, merge_intervals, total_length
+from .metrics import MultiTreeResilienceMetrics, blackout_intervals
 
 __all__ = [
+    "FaultPlan",
+    "MultiTreeResilienceMetrics",
     "MultiTreeResult",
     "MultiTreeSimulation",
+    "StripeFaultPlanner",
+    "blackout_intervals",
     "clip_intervals",
+    "home_tree",
     "intersect_many",
     "merge_intervals",
     "total_length",

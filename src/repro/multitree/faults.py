@@ -1,0 +1,203 @@
+"""Correlated fault injection across K stripe trees.
+
+A :class:`~repro.faults.injector.FaultInjector` binds to exactly one
+churn simulation, and each stripe runs its own — so replaying a schedule
+independently per stripe would pick *different* victims in every tree
+(selection draws consult live tree state).  That breaks the correlated-
+failure semantics: a crashing member must vanish from **all** stripes at
+the same instant.
+
+The :class:`StripeFaultPlanner` therefore resolves every fault's victim
+set **once**, deterministically, against the *shared workload* (the
+session timeline is identical across stripes, unlike the per-stripe tree
+state), and then replays the same ``(time, cause, member_ids)`` plan into
+every stripe as one priority ``-2`` timer per fault — the same engine
+mechanics the single-tree injector uses.  Victim draws are keyed
+``default_rng([schedule.seed, fault_index])`` exactly like
+:meth:`FaultInjector._fire_closure`, so a plan replays bit-identically
+for a given seed.
+
+Only :class:`~repro.faults.model.NodeCrash` (``random`` selector or
+explicit ``member_ids``) and :class:`~repro.faults.model.StubDomainOutage`
+are supported: their victim sets are workload-derivable.  Tree-state
+selectors (``root-children``, ``high-degree``) and the non-kill
+primitives would need per-stripe state and are rejected up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import FaultError
+from ..faults.model import NodeCrash, StubDomainOutage
+from ..faults.schedule import FaultSchedule
+from ..metrics.collectors import ResilienceMetrics
+from ..simulation.churn import ChurnSimulation
+from ..simulation.probe import PROBE_MEMBER_ID
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One fault resolved to a concrete cross-stripe kill."""
+
+    time: float
+    kind: str
+    cause: str
+    member_ids: Tuple[int, ...]
+    detail: dict
+
+
+class StripeFaultPlanner:
+    """Plan a fault schedule once; replay the same kills into every stripe."""
+
+    def __init__(self, schedule: FaultSchedule, workload, topology):
+        self.schedule = schedule
+        self._workload = workload
+        self._topology = topology
+        #: What fired, mirrored per stripe: (time, kind, detail) tuples.
+        self.log: List[Tuple[float, str, dict]] = []
+        self._logged: Dict[int, bool] = {}
+        self.plans: List[FaultPlan] = [
+            self._plan(index, fault)
+            for index, fault in enumerate(schedule.faults)
+        ]
+
+    # -- planning --------------------------------------------------------------
+
+    def _alive_sessions(self, t: float) -> List:
+        """Workload sessions alive at ``t`` (identical across stripes),
+        sorted by member id."""
+        alive = [
+            s
+            for s in self._workload.sessions
+            if s.member_id != PROBE_MEMBER_ID
+            and s.arrival_s <= t < s.arrival_s + s.lifetime_s
+        ]
+        alive.sort(key=lambda s: s.member_id)
+        return alive
+
+    def _plan(self, index: int, fault) -> FaultPlan:
+        t = fault.fire_time(self._workload.horizon_s)
+        rng = np.random.default_rng([self.schedule.seed, index])
+        if isinstance(fault, NodeCrash):
+            victims = self._plan_crash(fault, t, rng)
+            detail: dict = {"selector": fault.selector, "planned": list(victims)}
+        elif isinstance(fault, StubDomainOutage):
+            victims, domains = self._plan_outage(fault, t)
+            detail = {"domains": list(domains), "planned": list(victims)}
+        else:
+            raise FaultError(
+                f"multitree fault injection supports node-crash and "
+                f"stub-domain-outage only, got {fault.kind!r}"
+            )
+        return FaultPlan(
+            time=t,
+            kind=fault.kind,
+            cause=fault.cause,
+            member_ids=victims,
+            detail=detail,
+        )
+
+    def _plan_crash(
+        self, fault: NodeCrash, t: float, rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        if fault.member_ids:
+            return tuple(sorted(int(m) for m in fault.member_ids))
+        if fault.selector != "random":
+            raise FaultError(
+                f"multitree node-crash selection must be workload-derivable: "
+                f"selector {fault.selector!r} depends on per-stripe tree "
+                f"state (use 'random' or explicit member_ids)"
+            )
+        candidates = self._alive_sessions(t)
+        k = min(fault.count, len(candidates))
+        picks = rng.choice(len(candidates), size=k, replace=False) if k else []
+        return tuple(
+            candidates[int(i)].member_id for i in sorted(int(p) for p in picks)
+        )
+
+    def _plan_outage(
+        self, fault: StubDomainOutage, t: float
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        alive = self._alive_sessions(t)
+        node_domain = self._topology.node_domain
+        if fault.domain_ids:
+            chosen = tuple(int(d) for d in fault.domain_ids)
+        else:
+            population: Dict[int, int] = {}
+            for session in alive:
+                domain = int(node_domain[session.underlay_node])
+                if domain >= 0:
+                    population[domain] = population.get(domain, 0) + 1
+            ranked = sorted(population, key=lambda d: (-population[d], d))
+            chosen = tuple(ranked[: fault.domains])
+        wanted = set(chosen)
+        victims = tuple(
+            s.member_id
+            for s in alive
+            if int(node_domain[s.underlay_node]) in wanted
+        )
+        return victims, chosen
+
+    # -- binding ---------------------------------------------------------------
+
+    def bind_stripe(
+        self,
+        stripe: int,
+        churn: ChurnSimulation,
+        resilience: Optional[ResilienceMetrics] = None,
+    ) -> None:
+        """Schedule every planned kill into one stripe's engine.
+
+        Kills fire at priority ``-2`` (beating a natural departure at the
+        same instant, like the single-tree injector) and carry the full
+        planned victim set as ``co_failed_ids`` so per-stripe recovery
+        (MLC group selection) sees the correlation.  The planner's
+        :attr:`log` is populated once, by the first stripe to fire each
+        fault — the plan is stripe-invariant by construction.
+        """
+        for index, plan in enumerate(self.plans):
+            churn.sim.schedule_at(
+                plan.time,
+                self._fire_closure(index, stripe, churn, resilience),
+                label=f"fault:{plan.kind}",
+                priority=-2,
+            )
+
+    def _fire_closure(
+        self,
+        index: int,
+        stripe: int,
+        churn: ChurnSimulation,
+        resilience: Optional[ResilienceMetrics],
+    ):
+        plan = self.plans[index]
+        co_failed = frozenset(plan.member_ids)
+
+        def fire() -> None:
+            killed = []
+            members = churn.tree.members
+            for member_id in plan.member_ids:  # already sorted
+                node = members.get(member_id)
+                if node is None or node.is_root:
+                    continue
+                if churn.fail_member(
+                    node, cause=plan.cause, co_failed_ids=co_failed
+                ):
+                    killed.append(member_id)
+            now = churn.sim.now
+            detail = dict(plan.detail)
+            detail["killed"] = killed
+            detail["stripe"] = stripe
+            if not self._logged.get(index):
+                self._logged[index] = True
+                shared = dict(plan.detail)
+                shared["killed"] = list(plan.member_ids)
+                self.log.append((now, plan.kind, shared))
+            if resilience is not None:
+                resilience.record_fault(now, plan.kind, detail)
+
+        return fire

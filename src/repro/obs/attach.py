@@ -167,7 +167,14 @@ class ObsAttachment:
             "seed": int(meta["seed"]),
             "horizon_s": float(config.horizon_s),
         }
-        for optional in ("scenario", "scale", "replica", "switch_interval_s"):
+        for optional in (
+            "scenario",
+            "scale",
+            "replica",
+            "switch_interval_s",
+            "stripe",
+            "trees",
+        ):
             value = meta.get(optional)
             if value is not None:
                 record[optional] = value

@@ -18,6 +18,8 @@ Record types (full field semantics in ``docs/observability.md``):
 ``disruption``     a member failed abruptly, detaching a subtree
 ``episode_open``   a disrupted child entered a recovery episode
 ``episode_close``  an orphan re-attached; its episode ended
+``stripe_outage_open``   a member lost one stripe of a K-tree run
+``stripe_outage_close``  that stripe recovered (or the member departed)
 ``run_end``        one per observed simulation, with run totals
 """
 
@@ -53,6 +55,13 @@ _REQUIRED: Dict[str, Dict[str, Tuple[type, ...]]] = {
     },
     "episode_open": {"t": _NUM, "member": (int,), "cause": (str,)},
     "episode_close": {"t": _NUM, "member": (int,)},
+    "stripe_outage_open": {
+        "t": _NUM,
+        "member": (int,),
+        "stripe": (int,),
+        "cause": (str,),
+    },
+    "stripe_outage_close": {"t": _NUM, "member": (int,), "stripe": (int,)},
     "run_end": {
         "t": _NUM,
         "events_processed": (int,),
@@ -67,6 +76,8 @@ _OPTIONAL: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "scale": _NUM,
         "replica": (int,),
         "switch_interval_s": _NUM,
+        "stripe": (int,),
+        "trees": (int,),
     },
 }
 

@@ -358,6 +358,40 @@ def _protocol_pair_trends(lower: str, upper: str) -> List[TrendSpec]:
     ]
 
 
+def _multitree_trends() -> List[TrendSpec]:
+    """The K-tree resilience claim: blackout rate decreasing in K.
+
+    Adjacent steps are non-strict with a noise margin (K >= 2 blackout
+    rates sit near zero at smoke scale, so exact ordering between e.g.
+    K4 and K8 is not meaningful), while the end-to-end K8-vs-K1 step is
+    strict: a negative ``abs_margin`` demands a real gap, so a planted
+    blackout undercount (all rates collapse to zero) trips the trend
+    even before the metric tolerances do.
+    """
+    path = "summary.crash.rost.K{k}.blackout_rate"
+    trends = [
+        TrendSpec(
+            name=f"crash-blackout-K{hi}-le-K{lo}",
+            kind="path_order",
+            lower=path.format(k=hi),
+            upper=path.format(k=lo),
+            abs_margin=1e-3,
+            rel_margin=0.10,
+        )
+        for lo, hi in ((1, 2), (2, 4), (4, 8))
+    ]
+    trends.append(
+        TrendSpec(
+            name="crash-blackout-K8-strictly-below-K1",
+            kind="path_order",
+            lower=path.format(k=8),
+            upper=path.format(k=1),
+            abs_margin=-5e-3,
+        )
+    )
+    return trends
+
+
 #: The committed smoke-scale operating points (5 seeds each).  Reduced
 #: size axes keep one full regen + gate cycle under a minute while every
 #: protocol still shows non-degenerate metrics at scale 0.05.
@@ -396,6 +430,12 @@ DEFAULT_SPECS: Dict[str, Dict[str, object]] = {
             for k in (1, 2, 3)
         ],
     },
+    "multitree_resilience": {
+        "scale": 0.05,
+        "seeds": [1, 2, 3, 4, 5],
+        "kwargs": {},
+        "trends": _multitree_trends(),
+    },
 }
 
 
@@ -410,6 +450,29 @@ def default_baseline_specs() -> Dict[str, Dict[str, object]]:
         }
         for experiment_id, spec in DEFAULT_SPECS.items()
     }
+
+
+def _baseline_path(directory: str, experiment_id: str) -> str:
+    """Where ``experiment_id``'s baseline lives in ``directory``.
+
+    Baselines are matched by their ``experiment_id`` payload field, not
+    by filename (``multitree.json`` holds ``multitree_resilience``), so
+    regeneration scans existing files first and only falls back to the
+    conventional ``<experiment_id>.json`` name for brand-new baselines.
+    """
+    fallback = os.path.join(directory, f"{experiment_id}.json")
+    if not os.path.isdir(directory):
+        return fallback
+    for name in sorted(n for n in os.listdir(directory) if n.endswith(".json")):
+        path = os.path.join(directory, name)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(payload, dict) and payload.get("experiment_id") == experiment_id:
+            return path
+    return fallback
 
 
 def regen_baselines(
@@ -428,7 +491,7 @@ def regen_baselines(
     ids = list(only) if only else sorted(specs)
     written: List[str] = []
     for experiment_id in ids:
-        path = os.path.join(directory, f"{experiment_id}.json")
+        path = _baseline_path(directory, experiment_id)
         tolerance = None
         trends: Sequence[TrendSpec] = ()
         if os.path.isfile(path):

@@ -1,0 +1,171 @@
+"""Property-based laws for the multitree interval algebra.
+
+The blackout/outage accounting in :mod:`repro.multitree.metrics` leans
+entirely on ``intersect_many`` / ``clip_intervals`` / ``total_length``
+behaving like honest set algebra on unions of closed intervals.  These
+properties pin the laws the aggregator implicitly assumes: commutativity
+of intersection, monotonicity under clipping, the measure bound
+``|A ∩ B| <= min(|A|, |B|)``, and the degenerate/empty-interval edge
+cases the event-driven callers can produce (zero-length outage windows,
+inverted pairs from clock ties).
+
+Run explicitly with ``pytest -m fuzz`` (excluded from tier-1 by the
+default marker expression in pyproject.toml).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.multitree.intervals import (
+    clip_intervals,
+    intersect_many,
+    intersect_two,
+    merge_intervals,
+    total_length,
+)
+
+pytestmark = pytest.mark.fuzz
+
+EPS = 1e-9
+
+
+def coord():
+    return st.floats(
+        min_value=-100.0,
+        max_value=100.0,
+        allow_nan=False,
+        allow_infinity=False,
+        width=32,
+    )
+
+
+#: Raw interval pairs as callers produce them: unsorted, overlapping,
+#: possibly degenerate (start == end) or inverted (start > end).
+def raw_interval():
+    return st.tuples(coord(), coord())
+
+
+def interval_list(max_size=8):
+    return st.lists(raw_interval(), max_size=max_size)
+
+
+def interval_sets(min_size=0, max_size=4):
+    return st.lists(interval_list(), min_size=min_size, max_size=max_size)
+
+
+def assert_canonical(intervals):
+    """Merged output: sorted, disjoint, strictly positive-length."""
+    for start, end in intervals:
+        assert end > start
+    for (_, e1), (s2, _) in zip(intervals, intervals[1:]):
+        assert s2 > e1
+
+
+# -- merge: canonical form is a fixed point ----------------------------------
+
+
+@settings(max_examples=200)
+@given(interval_list())
+def test_merge_canonical_and_idempotent(intervals):
+    merged = merge_intervals(intervals)
+    assert_canonical(merged)
+    assert merge_intervals(merged) == merged
+    # Merging preserves measure of the union.
+    assert math.isclose(
+        total_length(intervals), total_length(merged), abs_tol=EPS
+    )
+
+
+@settings(max_examples=200)
+@given(interval_list())
+def test_empty_and_degenerate_intervals_are_nothing(intervals):
+    degenerate = [(s, s) for s, _ in intervals] + [
+        (e, s) for s, e in intervals if e > s  # inverted
+    ]
+    assert merge_intervals(degenerate) == []
+    assert total_length(degenerate) == 0.0
+    # Adding degenerate noise to a real set changes nothing.
+    assert merge_intervals(intervals + degenerate) == merge_intervals(intervals)
+
+
+# -- intersection laws --------------------------------------------------------
+
+
+@settings(max_examples=200)
+@given(interval_sets(min_size=2, max_size=4))
+def test_intersect_many_commutative(sets):
+    forward = intersect_many(sets)
+    backward = intersect_many(list(reversed(sets)))
+    assert len(forward) == len(backward)
+    for (s1, e1), (s2, e2) in zip(forward, backward):
+        assert math.isclose(s1, s2, abs_tol=EPS)
+        assert math.isclose(e1, e2, abs_tol=EPS)
+
+
+@settings(max_examples=200)
+@given(interval_list(), interval_list())
+def test_intersect_two_matches_intersect_many(a, b):
+    assert intersect_two(a, b) == intersect_many([a, b])
+
+
+@settings(max_examples=200)
+@given(interval_sets(max_size=4))
+def test_intersect_length_bounded_by_min_operand(sets):
+    result = intersect_many(sets)
+    assert_canonical(result)
+    if not sets:
+        assert result == []
+        return
+    bound = min(total_length(s) for s in sets)
+    assert total_length(result) <= bound + EPS
+
+
+@settings(max_examples=200)
+@given(interval_list())
+def test_intersect_with_self_is_identity(intervals):
+    merged = merge_intervals(intervals)
+    assert intersect_many([intervals, intervals]) == merged
+    # The empty family intersects to nothing (documented convention).
+    assert intersect_many([]) == []
+    # Any family containing the empty set intersects to nothing.
+    assert intersect_many([intervals, []]) == []
+
+
+# -- clipping laws ------------------------------------------------------------
+
+
+@settings(max_examples=200)
+@given(interval_list(), coord(), coord())
+def test_clip_is_intersection_with_window(intervals, low, high):
+    clipped = clip_intervals(intervals, low, high)
+    assert_canonical(clipped)
+    assert clipped == intersect_many([intervals, [(low, high)]])
+    for start, end in clipped:
+        assert start >= low - EPS
+        assert end <= high + EPS
+
+
+@settings(max_examples=200)
+@given(interval_list(), coord(), coord(), coord())
+def test_clip_monotone_in_window(intervals, a, b, c):
+    """A wider window never yields less clipped measure."""
+    low, mid_lo, mid_hi = sorted([a, b, c])[0], *sorted([a, b, c])[1:]
+    inner = total_length(clip_intervals(intervals, mid_lo, mid_hi))
+    outer = total_length(clip_intervals(intervals, low, mid_hi))
+    assert inner <= outer + EPS
+    # And clipping never grows measure beyond the unclipped set.
+    assert outer <= total_length(intervals) + EPS
+
+
+@settings(max_examples=200)
+@given(interval_list(), coord(), coord())
+def test_clip_empty_window_is_empty(intervals, low, width):
+    assert clip_intervals(intervals, low, low) == []
+    assert clip_intervals(intervals, low + abs(width), low) == []

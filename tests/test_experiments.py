@@ -25,7 +25,10 @@ ALL_IDS = [
     "ext-rescue",
     "faults_campaign",
     "faults_scenario",
-] + FIGURE_IDS
+] + FIGURE_IDS + [
+    "multitree_resilience",
+    "multitree_scenario",
+]
 
 
 @pytest.fixture(scope="module", autouse=True)

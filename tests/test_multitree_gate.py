@@ -1,0 +1,100 @@
+"""Clean-HEAD acceptance for the ``multitree.json`` golden baseline.
+
+Regenerate after an *intentional* behavior change with::
+
+    REPRO_REGEN_BASELINES=1 PYTHONPATH=src python -m pytest tests/test_multitree_gate.py
+"""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.experiments import common
+from repro.validate.baseline import (
+    ENV_REGEN_BASELINES,
+    load_baseline,
+    load_baseline_dir,
+    regen_baselines,
+)
+from repro.validate.gate import run_gates
+
+BASELINE_DIR = "tests/golden/baselines"
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+def test_multitree_gate_passes_on_clean_head():
+    """The acceptance criterion: the K-tree campaign reproduces its
+    committed summary and the blackout-decreasing-in-K trend holds."""
+    if os.environ.get(ENV_REGEN_BASELINES):
+        written = regen_baselines(BASELINE_DIR, only=["multitree_resilience"])
+        assert written == [os.path.join(BASELINE_DIR, "multitree.json")]
+    baselines = load_baseline_dir(BASELINE_DIR, only=["multitree_resilience"])
+    report = run_gates(baselines, baseline_dir=BASELINE_DIR)
+    assert report.passed, report.render_text()
+    outcome = report.outcomes[0]
+    assert outcome.mode == "paired"
+    trend_names = {t.name for t in outcome.trends}
+    assert "crash-blackout-K8-strictly-below-K1" in trend_names
+    assert all(t.passed for t in outcome.trends)
+
+
+def test_committed_baseline_declares_the_k_trend():
+    baseline = load_baseline(os.path.join(BASELINE_DIR, "multitree.json"))
+    assert baseline.experiment_id == "multitree_resilience"
+    kinds = {t.kind for t in baseline.trends}
+    assert kinds == {"path_order"}
+    lowers = [t.lower for t in baseline.trends]
+    assert all("blackout_rate" in path for path in lowers)
+    # Strictness is encoded as a negative absolute margin on K8-vs-K1.
+    strict = [t for t in baseline.trends if t.name.endswith("strictly-below-K1")]
+    assert len(strict) == 1 and strict[0].abs_margin < 0
+
+
+def test_regen_refreshes_multitree_json_in_place(tmp_path):
+    """``regen_baselines`` matches baselines by experiment_id, so the
+    unconventionally-named ``multitree.json`` is rewritten in place
+    rather than duplicated as ``multitree_resilience.json``."""
+    tiny_spec = {
+        "name": "regen-tiny",
+        "population": 300,
+        "protocols": ["rost"],
+        "tree_counts": [1, 2],
+        "root_bandwidth": 4.0,
+        "scenarios": [{"name": "baseline", "faults": []}],
+    }
+    committed = load_baseline(os.path.join(BASELINE_DIR, "multitree.json"))
+    prior = {
+        "schema_version": 1,
+        "experiment_id": "multitree_resilience",
+        "scale": 0.05,
+        "seeds": [1],
+        "kwargs": {"spec": tiny_spec},
+        "tolerance": committed.tolerance.to_payload(),
+        "trends": [],
+        "metrics": {},
+    }
+    target = tmp_path / "multitree.json"
+    target.write_text(json.dumps(prior))
+    shutil.copy(
+        os.path.join(BASELINE_DIR, "fig04.json"), tmp_path / "fig04.json"
+    )
+
+    written = regen_baselines(str(tmp_path), only=["multitree_resilience"])
+    assert written == [str(target)]
+    assert sorted(p.name for p in tmp_path.iterdir()) == [
+        "fig04.json",
+        "multitree.json",
+    ]
+    regenerated = load_baseline(str(target))
+    # Operating point preserved, metric summaries refreshed.
+    assert regenerated.seeds == [1]
+    assert regenerated.kwargs == {"spec": tiny_spec}
+    assert regenerated.metrics

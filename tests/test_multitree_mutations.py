@@ -1,0 +1,124 @@
+"""Mutation smoke tests for the multi-tree resilience gate.
+
+Same contract as :mod:`tests.test_validate_mutations`: plant one
+plausible K-tree accounting bug, re-run the ``multitree_resilience``
+experiment against a clean baseline built moments earlier, and require
+the validate gate to reject it with a machine-readable failure report.
+The three planted bugs target the exact seams the subsystem's headline
+metrics depend on: blackout intersection, outage-interval clipping, and
+the SplitStream home-tree assignment.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.common import clear_caches
+from repro.validate.baseline import build_baseline, collect_samples
+from repro.validate.gate import run_gate
+
+#: Tiny operating point: crash scenario only, K in {1, 2}, two seeds.
+#: Small enough for a clean-baseline + mutated-re-run round trip per
+#: test, while keeping nonzero blackout/outage signal at every cell.
+TINY_SPEC = {
+    "name": "mutation-smoke",
+    "population": 500,
+    "protocols": ["rost"],
+    "tree_counts": [1, 2],
+    "root_bandwidth": 4.0,
+    "scenarios": [
+        {
+            "name": "crash",
+            "faults": [
+                {"kind": "node-crash", "at_frac": 0.45, "count": 8},
+                {"kind": "node-crash", "at_frac": 0.7, "count": 8},
+            ],
+        }
+    ],
+}
+
+OPERATING_POINT = {"scale": 0.05, "seeds": [1, 2], "kwargs": {"spec": TINY_SPEC}}
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _clean_baseline():
+    return build_baseline("multitree_resilience", **OPERATING_POINT)
+
+
+def _mutated_outcome(baseline):
+    """Re-run the experiment (mutation active) and gate it."""
+    clear_caches()
+    samples = collect_samples(
+        baseline.experiment_id, baseline.scale, baseline.seeds, baseline.kwargs
+    )
+    return run_gate(baseline, samples=samples)
+
+
+def _assert_structured_failure(payload: dict) -> None:
+    json.dumps(payload)  # serializable
+    assert payload["passed"] is False
+    failures = payload["metric_failures"] + [
+        t for t in payload["trends"] if not t["passed"]
+    ]
+    assert failures
+    assert all(f["detail"] for f in failures)
+
+
+def test_clean_tiny_spec_gate_passes():
+    """Sanity: without a mutation the tiny operating point round-trips."""
+    baseline = _clean_baseline()
+    outcome = _mutated_outcome(baseline)
+    assert outcome.passed, outcome.to_payload()
+
+
+def test_blackout_undercount_caught(monkeypatch):
+    """Bug: full-blackout intervals silently dropped (every rate -> 0)."""
+    from repro.multitree import metrics
+
+    baseline = _clean_baseline()
+    monkeypatch.setattr(
+        metrics, "blackout_intervals", lambda per_stripe, low, high: []
+    )
+    outcome = _mutated_outcome(baseline)
+    assert not outcome.passed
+    assert any("blackout" in v.path for v in outcome.metric_failures)
+    _assert_structured_failure(outcome.to_payload())
+
+
+def test_stripe_outage_boundary_off_by_one_caught(monkeypatch):
+    """Bug: a fencepost in outage clipping skips each member's first
+    outage interval, undercounting stripe-outage time and counts."""
+    from repro.multitree import metrics
+
+    baseline = _clean_baseline()
+    original = metrics.clip_intervals
+    monkeypatch.setattr(
+        metrics,
+        "clip_intervals",
+        lambda intervals, low, high: original(intervals, low, high)[1:],
+    )
+    outcome = _mutated_outcome(baseline)
+    assert not outcome.passed
+    assert any(
+        "stripe_outage" in v.path or "quality" in v.path
+        for v in outcome.metric_failures
+    )
+    _assert_structured_failure(outcome.to_payload())
+
+
+def test_home_tree_skew_caught(monkeypatch):
+    """Bug: every member's home tree collapses to stripe 0, destroying
+    the interior-disjoint capacity spread across stripes."""
+    from repro.multitree import driver
+
+    baseline = _clean_baseline()
+    monkeypatch.setattr(driver, "home_tree", lambda member_id, num_trees: 0)
+    outcome = _mutated_outcome(baseline)
+    assert not outcome.passed
+    _assert_structured_failure(outcome.to_payload())

@@ -1,0 +1,245 @@
+"""Byte-identity and resume guarantees for the multi-tree campaign.
+
+The ``multitree_resilience`` family rides the same pool/store/obs
+chokepoint as the fault campaigns, so it inherits the PR-7 contract:
+``--out``/``--json`` bytes are identical at any ``--jobs`` value, and a
+run interrupted mid-campaign and restarted with ``--resume`` converges
+to the uninterrupted bytes while replaying (not re-executing) completed
+units.
+"""
+
+import json
+import os
+import shutil
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.runner import main
+from repro.store import RunStore
+
+SPEC = {
+    "name": "multitree-resume-small",
+    "population": 400,
+    "warmup_lifetimes": 0.25,
+    "measure_lifetimes": 0.5,
+    "protocols": ["rost"],
+    "tree_counts": [1, 2],
+    "seeds": [1],
+    "root_bandwidth": 4.0,
+    "scenarios": [
+        {"name": "baseline", "faults": []},
+        {
+            "name": "crash",
+            "faults": [{"kind": "node-crash", "at_frac": 0.5, "count": 6}],
+        },
+    ],
+}
+SCALE = "0.1"
+UNITS = 4  # scenarios x protocols x tree_counts x seeds
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+def _campaign_args(spec_path, out, json_path, *extra, jobs="1"):
+    return [
+        "multitree_campaign",
+        str(spec_path),
+        "--scale",
+        SCALE,
+        "--jobs",
+        jobs,
+        "--out",
+        str(out),
+        "--json",
+        str(json_path),
+        *extra,
+    ]
+
+
+@pytest.fixture(scope="module")
+def seeded_campaign(tmp_path_factory):
+    """Baseline output bytes plus a fully-populated store to clone from."""
+    base = tmp_path_factory.mktemp("multitree-campaign")
+    spec_path = base / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+
+    common.clear_caches()
+    assert main(_campaign_args(spec_path, base / "base.txt", base / "base.json")) == 0
+
+    store_root = base / "full.runstore"
+    common.clear_caches()
+    code = main(
+        _campaign_args(
+            spec_path,
+            base / "stored.txt",
+            base / "stored.json",
+            "--store",
+            str(store_root),
+        )
+    )
+    assert code == 0
+    assert (base / "stored.txt").read_bytes() == (base / "base.txt").read_bytes()
+    assert (base / "stored.json").read_bytes() == (base / "base.json").read_bytes()
+    return {
+        "spec_path": spec_path,
+        "out": (base / "base.txt").read_bytes(),
+        "json": (base / "base.json").read_bytes(),
+        "store": store_root,
+    }
+
+
+def test_jobs_4_is_byte_identical_to_serial(seeded_campaign, tmp_path):
+    """The headline determinism claim: fan-out order, not worker count,
+    defines the report."""
+    common.clear_caches()
+    code = main(
+        _campaign_args(
+            seeded_campaign["spec_path"],
+            tmp_path / "par.txt",
+            tmp_path / "par.json",
+            jobs="4",
+        )
+    )
+    assert code == 0
+    assert (tmp_path / "par.txt").read_bytes() == seeded_campaign["out"]
+    assert (tmp_path / "par.json").read_bytes() == seeded_campaign["json"]
+
+
+def _interrupt(store_root: Path) -> str:
+    """Forget one completed unit, as a kill mid-campaign would."""
+    conn = sqlite3.connect(str(store_root / "ledger.sqlite"))
+    victim = conn.execute(
+        "SELECT unit_key FROM units ORDER BY unit_key LIMIT 1"
+    ).fetchone()[0]
+    with conn:
+        conn.execute("DELETE FROM units WHERE unit_key = ?", (victim,))
+    conn.close()
+    return victim
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_resume_is_byte_identical_and_replays_completed_units(
+    seeded_campaign, tmp_path, jobs
+):
+    store_root = tmp_path / "interrupted.runstore"
+    shutil.copytree(seeded_campaign["store"], store_root)
+    victim = _interrupt(store_root)
+
+    code = main(
+        _campaign_args(
+            seeded_campaign["spec_path"],
+            tmp_path / "resumed.txt",
+            tmp_path / "resumed.json",
+            "--store",
+            str(store_root),
+            "--resume",
+            jobs=str(jobs),
+        )
+    )
+    assert code == 0
+    assert (tmp_path / "resumed.txt").read_bytes() == seeded_campaign["out"]
+    assert (tmp_path / "resumed.json").read_bytes() == seeded_campaign["json"]
+
+    store = RunStore(str(store_root))
+    rows = store.ledger.units()
+    assert len(rows) == UNITS
+    for row in rows:
+        assert row["executions"] == 1
+        assert row["hits"] == (0 if row["unit_key"] == victim else 1)
+    run = store.ledger.runs()[-1]
+    assert run["units_total"] == UNITS
+    assert run["units_replayed"] == UNITS - 1
+
+
+@pytest.mark.slow
+def test_sigkill_resume_byte_identity(tmp_path):
+    """SIGKILL a live multitree campaign mid-run, resume, compare bytes."""
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    env = dict(os.environ, PYTHONPATH="src")
+    repo = str(Path(__file__).resolve().parents[1])
+
+    def run(*extra, out, json_path):
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.experiments",
+            *_campaign_args(spec_path, out, json_path, *extra),
+        ]
+        subprocess.run(cmd, cwd=repo, env=env, check=True)
+
+    run(out=tmp_path / "base.txt", json_path=tmp_path / "base.json")
+
+    store_root = tmp_path / "killed.runstore"
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments",
+            *_campaign_args(
+                spec_path,
+                tmp_path / "dead.txt",
+                tmp_path / "dead.json",
+                "--store",
+                str(store_root),
+            ),
+        ],
+        cwd=repo,
+        env=env,
+        start_new_session=True,
+    )
+    ledger_path = store_root / "ledger.sqlite"
+    deadline = time.monotonic() + 300.0
+    committed = 0
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break  # finished before the kill: still a valid resume
+            if ledger_path.exists():
+                try:
+                    conn = sqlite3.connect(str(ledger_path), timeout=5.0)
+                    committed = conn.execute(
+                        "SELECT COUNT(*) FROM units"
+                    ).fetchone()[0]
+                    conn.close()
+                except sqlite3.Error:
+                    committed = 0
+            if committed >= 1:
+                break
+            time.sleep(0.05)
+        assert committed >= 1 or proc.poll() is not None
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=60)
+
+    run(
+        "--store",
+        str(store_root),
+        "--resume",
+        out=tmp_path / "resumed.txt",
+        json_path=tmp_path / "resumed.json",
+    )
+    assert (tmp_path / "resumed.txt").read_bytes() == (
+        tmp_path / "base.txt"
+    ).read_bytes()
+    assert (tmp_path / "resumed.json").read_bytes() == (
+        tmp_path / "base.json"
+    ).read_bytes()
+
+    store = RunStore(str(store_root))
+    rows = store.ledger.units()
+    assert len(rows) == UNITS
+    assert all(row["executions"] == 1 for row in rows)

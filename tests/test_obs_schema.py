@@ -37,6 +37,19 @@ VALID = {
     },
     "episode_open": {"type": "episode_open", "t": 4.0, "member": 9, "cause": "failure"},
     "episode_close": {"type": "episode_close", "t": 5.0, "member": 9},
+    "stripe_outage_open": {
+        "type": "stripe_outage_open",
+        "t": 4.0,
+        "member": 9,
+        "stripe": 2,
+        "cause": "fault:node-crash",
+    },
+    "stripe_outage_close": {
+        "type": "stripe_outage_close",
+        "t": 5.0,
+        "member": 9,
+        "stripe": 2,
+    },
     "run_end": {
         "type": "run_end",
         "t": 300.0,

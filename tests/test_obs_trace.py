@@ -1,6 +1,6 @@
 """Golden-trace determinism and TraceWriter behaviour.
 
-Two checked-in goldens pin the trace byte format:
+Three checked-in goldens pin the trace byte format:
 
 * ``tests/golden/trace_engine.jsonl`` — a scripted bare-kernel run
   (no RNG involved, fully platform-independent) covering the
@@ -8,6 +8,9 @@ Two checked-in goldens pin the trace byte format:
 * ``tests/golden/trace_churn_small.jsonl`` — a tiny ROST churn run
   covering the structural records (``run_start``/``switch``/
   ``disruption``/``episode_open``/``episode_close``).
+* ``tests/golden/trace_multitree_small.jsonl`` — a tiny K=2 striped
+  run with a correlated crash, covering ``stripe_outage_open``/
+  ``stripe_outage_close`` and the per-stripe ``run_start`` metadata.
 
 Regenerate after an intentional format change with::
 
@@ -34,6 +37,8 @@ from .conftest import small_sim_config
 GOLDEN_DIR = Path(__file__).parent / "golden"
 ENGINE_GOLDEN = GOLDEN_DIR / "trace_engine.jsonl"
 CHURN_GOLDEN = GOLDEN_DIR / "trace_churn_small.jsonl"
+MULTITREE_GOLDEN = GOLDEN_DIR / "trace_multitree_small.jsonl"
+ALL_GOLDENS = (ENGINE_GOLDEN, CHURN_GOLDEN, MULTITREE_GOLDEN)
 
 
 def _engine_trace_unit():
@@ -77,6 +82,41 @@ def _golden_churn_config():
 
 
 @lru_cache(maxsize=None)
+def _multitree_trace_lines():
+    """A tiny K=2 striped run under a correlated crash, traced per stripe.
+
+    The driver attaches its own per-stripe ObsAttachments from the
+    ambient obs environment, so this harness flips the trace flag and
+    collects the emitted units through a job capture — the same path a
+    traced campaign uses.
+    """
+    from repro.faults import FaultSchedule, NodeCrash
+    from repro.multitree import MultiTreeSimulation
+    from repro.obs.capture import ENV_TRACE, job_capture
+
+    cfg = _golden_churn_config()
+    schedule = FaultSchedule(
+        seed=3, faults=(NodeCrash(count=4, at_frac=0.5),)
+    )
+    saved = os.environ.get(ENV_TRACE)
+    os.environ[ENV_TRACE] = "1"
+    try:
+        with job_capture() as capture:
+            MultiTreeSimulation(
+                cfg,
+                num_trees=2,
+                stripe_protocols=["rost", "rost"],
+                faults=schedule,
+            ).run()
+    finally:
+        if saved is None:
+            del os.environ[ENV_TRACE]
+        else:
+            os.environ[ENV_TRACE] = saved
+    return [line for unit in capture.units for line in unit.trace_lines]
+
+
+@lru_cache(maxsize=None)
 def _churn_trace_unit(profile: bool):
     sim = ChurnSimulation(_golden_churn_config(), PROTOCOLS["rost"])
     attachment = ObsAttachment(
@@ -109,19 +149,26 @@ def test_churn_trace_matches_golden():
     _check_golden(CHURN_GOLDEN, _churn_trace_unit(False).trace_lines)
 
 
+def test_multitree_trace_matches_golden():
+    lines = _multitree_trace_lines()
+    _check_golden(MULTITREE_GOLDEN, lines)
+    types = {json.loads(line)["type"] for line in lines}
+    assert {"stripe_outage_open", "stripe_outage_close"} <= types
+
+
 def test_engine_trace_repeat_generation_is_byte_identical():
     assert _engine_trace_unit().trace_lines == _engine_trace_unit().trace_lines
 
 
 def test_goldens_are_schema_valid():
-    for path in (ENGINE_GOLDEN, CHURN_GOLDEN):
+    for path in ALL_GOLDENS:
         lines = path.read_text().splitlines()
         assert validate_trace_lines(lines) == len(lines) > 0
 
 
 def test_goldens_cover_every_record_type():
     types = set()
-    for path in (ENGINE_GOLDEN, CHURN_GOLDEN):
+    for path in ALL_GOLDENS:
         for line in path.read_text().splitlines():
             types.add(json.loads(line)["type"])
     assert types == set(RECORD_TYPES)

@@ -142,10 +142,12 @@ class TestLoadDir:
 class TestCommittedBaselines:
     """The files under tests/golden/baselines/ stay loadable and sane."""
 
-    def test_all_four_figures_load(self):
+    def test_all_committed_baselines_load(self):
         baselines = load_baseline_dir("tests/golden/baselines")
         ids = [b.experiment_id for b in baselines]
-        assert ids == ["fig04", "fig07", "fig08", "fig14"]
+        assert ids == [
+            "fig04", "fig07", "fig08", "fig14", "multitree_resilience"
+        ]
         for baseline in baselines:
             assert baseline.seeds == DEFAULT_SPECS[baseline.experiment_id]["seeds"]
             assert baseline.metrics, baseline.experiment_id
