@@ -16,9 +16,21 @@ Schema (v1)::
       "meta":    {... machine/run description ...},
       "kernel":  {"chain_events_per_sec": float,
                   "concurrent_events_per_sec": float},
-      "figures": {"fig04": {"wall_s": float}, ...},
-      "total_figures_wall_s": float
+      "figures": {"fig04": {"wall_s": float, "events": int,
+                            "cache": {"churn_hits": int, ...}}, ...},
+      "total_figures_wall_s": float,
+      "sweep":   {"jobs": int, "wall_s": float, "figures": int,
+                  "unit_backed_figures": int, "unit_refs": int,
+                  "unique_units": int, "cache": {...}}
     }
+
+The ``figures`` section isolates each figure (caches cleared in
+between); ``sweep`` is the deployment shape — the whole campaign in one
+batch through the sweep-unit scheduler, where cross-figure duplicate
+simulations are deduplicated to unique units and executed once.  Its
+``cache`` counters are the parent-process run-cache hits observed while
+demuxing figures from unit payloads, i.e. direct evidence of how much
+work the dedup plan avoided.
 
 The *chain* kernel shape keeps a single pending timer (pure
 schedule/pop overhead); the *concurrent* shape holds thousands of
@@ -30,6 +42,7 @@ cost dominates.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import platform
@@ -86,6 +99,7 @@ def bench_figures(scale: float, seed: int) -> Dict[str, Dict[str, float]]:
     figures: Dict[str, Dict[str, float]] = {}
     for experiment in list_experiments():
         common.clear_caches()
+        stats_before = common.cache_stats()
         events_before = total_events_processed()
         started = time.perf_counter()
         experiment.run(scale=scale, seed=seed)
@@ -94,12 +108,68 @@ def bench_figures(scale: float, seed: int) -> Dict[str, Dict[str, float]]:
         # in workers, so this is only the parent's share there (meta.jobs
         # records which regime produced the numbers).
         events = total_events_processed() - events_before
+        stats_after = common.cache_stats()
+        cache = {name: stats_after[name] - stats_before.get(name, 0)
+                 for name in stats_after}
         figures[experiment.experiment_id] = {"wall_s": round(wall, 3),
-                                             "events": events}
+                                             "events": events,
+                                             "cache": cache}
         print(f"  {experiment.experiment_id:16s} {wall:8.2f}s "
               f"{events:>10d} events", flush=True)
     common.clear_caches()
     return figures
+
+
+def bench_sweep(scale: float, seed: int, jobs: int) -> Dict[str, object]:
+    """One full campaign through the sweep-unit scheduler.
+
+    Unlike :func:`bench_figures` (caches cleared per figure, so each
+    number is that figure's standalone cost) this is the deployment
+    shape: every figure in one batch, deduplicated to unique simulation
+    units, each unit executed once and the figures demuxed from the
+    payloads.  The recorded ``cache`` counters come from the parent
+    process after the run — every demux hit is a simulation the dedup
+    plan did not repeat.
+    """
+    from repro.experiments import common, list_experiments
+    from repro.experiments.pool import ExperimentJob, run_jobs
+    from repro.experiments.units import units_for
+
+    figure_ids = [e.experiment_id for e in list_experiments()]
+    unit_refs = 0
+    unit_backed = 0
+    unique = set()
+    for figure_id in figure_ids:
+        units = units_for(figure_id, scale=scale, seed=seed)
+        if units is None:
+            continue
+        unit_backed += 1
+        unit_refs += len(units)
+        unique.update(unit.cache_key() for unit in units)
+
+    common.clear_caches()
+    # The figure pass above leaves a large dead heap; collect it so the
+    # sweep timing measures scheduling, not the previous pass's garbage.
+    gc.collect()
+    batch = [ExperimentJob.make(figure_id, scale=scale, seed=seed)
+             for figure_id in figure_ids]
+    started = time.perf_counter()
+    run_jobs(batch, jobs)
+    wall = time.perf_counter() - started
+    stats = common.cache_stats()
+    common.clear_caches()
+    print(f"  all ({len(batch)} figures) --jobs {jobs}: {wall:.2f}s, "
+          f"{len(unique)} unique units for {unit_refs} unit refs, "
+          f"cache {stats}", flush=True)
+    return {
+        "jobs": jobs,
+        "wall_s": round(wall, 3),
+        "figures": len(batch),
+        "unit_backed_figures": unit_backed,
+        "unit_refs": unit_refs,
+        "unique_units": len(unique),
+        "cache": stats,
+    }
 
 
 def best_of(func, repeats: int = 3) -> float:
@@ -116,6 +186,17 @@ def main(argv=None) -> int:
         action="store_true",
         help="only run the kernel microbenchmarks (fast smoke)",
     )
+    parser.add_argument(
+        "--sweep-jobs",
+        type=int,
+        default=4,
+        help="--jobs for the whole-campaign sweep pass (default 4)",
+    )
+    parser.add_argument(
+        "--skip-sweep",
+        action="store_true",
+        help="skip the whole-campaign sweep pass",
+    )
     args = parser.parse_args(argv)
 
     print("kernel microbenchmarks ...", flush=True)
@@ -125,9 +206,13 @@ def main(argv=None) -> int:
     print(f"  concurrent  {concurrent:12.0f} events/s", flush=True)
 
     figures: Dict[str, Dict[str, float]] = {}
+    sweep: Dict[str, object] = {}
     if not args.skip_figures:
         print(f"figure suite at --scale {args.scale} ...", flush=True)
         figures = bench_figures(args.scale, args.seed)
+        if not args.skip_sweep:
+            print(f"campaign sweep at --jobs {args.sweep_jobs} ...", flush=True)
+            sweep = bench_sweep(args.scale, args.seed, args.sweep_jobs)
 
     from repro.experiments.pool import resolve_jobs
     from repro.obs.capture import obs_env
@@ -158,6 +243,8 @@ def main(argv=None) -> int:
             sum(f["wall_s"] for f in figures.values()), 3
         ),
     }
+    if sweep:
+        report["sweep"] = sweep
     tmp_path = args.out + ".tmp"
     with open(tmp_path, "w") as handle:
         json.dump(report, handle, indent=2)

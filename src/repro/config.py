@@ -358,6 +358,43 @@ class SimulationConfig:
         )
 
 
+def config_to_dict(config: SimulationConfig) -> dict:
+    """JSON-ready dict capturing every config field exactly.
+
+    Inverse of :func:`config_from_dict`; used by the result-serialization
+    layer (:mod:`repro.experiments.units`) to ship
+    :class:`SimulationConfig` across process boundaries.  All fields are
+    ints, floats, bools or tuples of floats, so a JSON round-trip is
+    bit-exact (Python's float repr is shortest-round-trip).
+    """
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: dict) -> SimulationConfig:
+    """Rebuild a :class:`SimulationConfig` from :func:`config_to_dict`.
+
+    JSON turns the delay-range tuples into lists; they are restored here
+    so the rebuilt config compares equal to (and hashes like) the
+    original.
+    """
+    topology = dict(data["topology"])
+    for name in (
+        "transit_transit_delay_ms",
+        "transit_stub_delay_ms",
+        "stub_stub_delay_ms",
+    ):
+        topology[name] = tuple(topology[name])
+    return SimulationConfig(
+        topology=TopologyConfig(**topology),
+        workload=WorkloadConfig(**data["workload"]),
+        protocol=ProtocolConfig(**data["protocol"]),
+        recovery=RecoveryConfig(**data["recovery"]),
+        warmup_lifetimes=data["warmup_lifetimes"],
+        measure_lifetimes=data["measure_lifetimes"],
+        seed=data["seed"],
+    )
+
+
 def paper_config(
     population: int = 8000,
     seed: int = 42,

@@ -23,6 +23,50 @@ ROST_VARIANTS = {
 }
 
 
+from .units import ChurnUnit, RecoveryUnit, declare_units
+
+
+@declare_units("ablation-rost")
+def rost_units(
+    scale: float = 1.0, seed: int = 42, population: int = DEFAULT_SINGLE_SIZE, **_
+):
+    settings = SweepSettings(scale=scale, seed=seed)
+    return [
+        ChurnUnit("rost", population, settings, rost_flags=tuple(sorted(flags.items())))
+        for flags in ROST_VARIANTS.values()
+    ]
+
+
+def _ablation_schemes():
+    return (
+        cer_scheme(3),  # the full protocol
+        RecoveryScheme(  # striping without loss-correlation awareness
+            name="cer-k3-random",
+            group_size=3,
+            use_mlc=False,
+            striped=True,
+            buffer_s=5.0,
+        ),
+        RecoveryScheme(  # MLC selection but one source at a time
+            name="ss-k3-mlc",
+            group_size=3,
+            use_mlc=True,
+            striped=False,
+            buffer_s=5.0,
+        ),
+        cer_scheme(3, eln=False),  # every descendant recovers alone
+        single_source_scheme(3),  # neither ingredient
+    )
+
+
+@declare_units("ablation-recovery")
+def recovery_units(
+    scale: float = 1.0, seed: int = 42, population: int = DEFAULT_SINGLE_SIZE, **_
+):
+    settings = SweepSettings(scale=scale, seed=seed)
+    return [RecoveryUnit("min-depth", population, settings, _ablation_schemes())]
+
+
 @register(
     "ablation-rost",
     "ROST mechanism ablations (promotion / succession / guards)",
@@ -79,25 +123,7 @@ def run_recovery_ablation(
     **_,
 ) -> ExperimentResult:
     settings = SweepSettings(scale=scale, seed=seed)
-    schemes = [
-        cer_scheme(3),  # the full protocol
-        RecoveryScheme(  # striping without loss-correlation awareness
-            name="cer-k3-random",
-            group_size=3,
-            use_mlc=False,
-            striped=True,
-            buffer_s=5.0,
-        ),
-        RecoveryScheme(  # MLC selection but one source at a time
-            name="ss-k3-mlc",
-            group_size=3,
-            use_mlc=True,
-            striped=False,
-            buffer_s=5.0,
-        ),
-        cer_scheme(3, eln=False),  # every descendant recovers alone
-        single_source_scheme(3),  # neither ingredient
-    ]
+    schemes = list(_ablation_schemes())
     result = recovery_run("min-depth", population, settings, schemes)
     rows = []
     data = {}

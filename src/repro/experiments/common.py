@@ -45,10 +45,26 @@ _recovery_cache: Dict[tuple, RecoveryRunResult] = {}
 # Observability units captured alongside cached runs, same keys as the
 # run caches.  A cache hit must *re-emit* the stored unit: with --jobs 1
 # a run shared between figures executes once, while with --jobs 4 each
-# figure's worker runs it separately — replaying the unit keeps the
-# merged trace/metrics byte-identical across the two.
+# figure's unit is simulated once and replayed per consumer — re-emitting
+# the unit keeps the merged trace/metrics byte-identical across the two.
 _churn_obs: Dict[tuple, ObsUnit] = {}
 _recovery_obs: Dict[tuple, ObsUnit] = {}
+
+#: Run-cache hit/miss counters since the last :func:`clear_caches`.
+#: ``benchmarks/report.py`` snapshots these around each figure so the
+#: bench meta records how much cross-figure sharing the sweep-unit
+#: scheduler can exploit.
+_cache_stats: Dict[str, int] = {
+    "churn_hits": 0,
+    "churn_misses": 0,
+    "recovery_hits": 0,
+    "recovery_misses": 0,
+}
+
+
+def cache_stats() -> Dict[str, int]:
+    """A snapshot of the run-cache hit/miss counters."""
+    return dict(_cache_stats)
 
 
 def clear_caches() -> None:
@@ -64,6 +80,8 @@ def clear_caches() -> None:
     _recovery_cache.clear()
     _churn_obs.clear()
     _recovery_obs.clear()
+    for name in _cache_stats:
+        _cache_stats[name] = 0
 
 
 @dataclass(frozen=True)
@@ -138,6 +156,35 @@ def protocol_factory(name: str, **kwargs) -> Callable:
     return cls
 
 
+def churn_key(
+    protocol_name: str,
+    population: int,
+    settings: SweepSettings,
+    probe_lifetime_s: Optional[float] = None,
+    switch_interval_s: Optional[float] = None,
+    rost_flags: Optional[dict] = None,
+) -> tuple:
+    """The ``_churn_cache`` key for one run's parameters.
+
+    Shared between :func:`churn_run` and the sweep-unit scheduler
+    (:mod:`repro.experiments.units`), which seeds the cache with
+    worker-executed results: both sides must fold the invariant-checking
+    flag and the obs fingerprint identically or seeded entries would
+    never be found (or worse, be replayed under the wrong channel set).
+    """
+    return (
+        "churn",
+        protocol_name,
+        population,
+        settings,
+        probe_lifetime_s,
+        switch_interval_s,
+        tuple(sorted((rost_flags or {}).items())),
+        _invariants_enabled(),
+        obs_fingerprint(),
+    )
+
+
 def churn_run(
     protocol_name: str,
     population: int,
@@ -149,23 +196,22 @@ def churn_run(
     """One (cached) churn run."""
     checked = _invariants_enabled()
     obs_fp = obs_fingerprint()
-    key = (
-        "churn",
+    key = churn_key(
         protocol_name,
         population,
         settings,
-        probe.lifetime_s if probe is not None else None,
-        switch_interval_s,
-        tuple(sorted((rost_flags or {}).items())),
-        checked,
-        obs_fp,
+        probe_lifetime_s=probe.lifetime_s if probe is not None else None,
+        switch_interval_s=switch_interval_s,
+        rost_flags=rost_flags,
     )
     cached = _churn_cache.get(key)
     if cached is not None:
+        _cache_stats["churn_hits"] += 1
         unit = _churn_obs.get(key)
         if unit is not None:
             emit_unit(unit)
         return cached
+    _cache_stats["churn_misses"] += 1
     config = settings.config(population)
     if switch_interval_s is not None:
         config = config.with_switch_interval(switch_interval_s)
@@ -203,6 +249,27 @@ def churn_run(
     return result
 
 
+def recovery_key(
+    protocol_name: str,
+    population: int,
+    settings: SweepSettings,
+    scheme_names: Sequence[str],
+    replica: int = 0,
+) -> tuple:
+    """The ``_recovery_cache`` key (see :func:`churn_key` for the
+    contract with the sweep-unit scheduler)."""
+    return (
+        "recovery",
+        protocol_name,
+        population,
+        settings,
+        tuple(scheme_names),
+        replica,
+        _invariants_enabled(),
+        obs_fingerprint(),
+    )
+
+
 def recovery_run(
     protocol_name: str,
     population: int,
@@ -213,22 +280,21 @@ def recovery_run(
     """One (cached) recovery run evaluating a grid of schemes."""
     checked = _invariants_enabled()
     obs_fp = obs_fingerprint()
-    key = (
-        "recovery",
+    key = recovery_key(
         protocol_name,
         population,
         settings,
-        tuple(s.name for s in schemes),
-        replica,
-        checked,
-        obs_fp,
+        [s.name for s in schemes],
+        replica=replica,
     )
     cached = _recovery_cache.get(key)
     if cached is not None:
+        _cache_stats["recovery_hits"] += 1
         unit = _recovery_obs.get(key)
         if unit is not None:
             emit_unit(unit)
         return cached
+    _cache_stats["recovery_misses"] += 1
     config = settings.config(population)
     if replica:
         config = config.with_seed(settings.seed + 1000 * replica)
@@ -264,6 +330,12 @@ def recovery_run(
     return result
 
 
+#: Lifetime of the Fig. 6/9 probe member.  A module constant because the
+#: sweep-unit scheduler must compute a probe run's cache key *without*
+#: materialising the probe session (which requires the topology).
+DEFAULT_PROBE_LIFETIME_S = 300 * 60.0
+
+
 def default_probe(settings: SweepSettings, population: int) -> Session:
     """The "typical member" of Figs 6 and 9: moderate bandwidth, a long
     (300-minute) life, joining once the network is in steady state."""
@@ -271,10 +343,49 @@ def default_probe(settings: SweepSettings, population: int) -> Session:
     topology, _ = shared_topology(config)
     return make_probe_session(
         arrival_s=config.warmup_s,
-        lifetime_s=300 * 60.0,
+        lifetime_s=DEFAULT_PROBE_LIFETIME_S,
         bandwidth=2.0,
         underlay_node=topology.stub_nodes[len(topology.stub_nodes) // 2],
     )
+
+
+# -- sweep-unit scheduler hooks -----------------------------------------------------
+#
+# The two-phase pool plan (see ``pool.py``) executes each deduplicated
+# simulation unit once in a worker, ships the exact payload back, and
+# seeds the parent's run caches below before re-running the consuming
+# figures in-process.  From the figures' perspective every churn_run /
+# recovery_run call is then an ordinary cache hit — including the ObsUnit
+# re-emission — which is what keeps merged artifacts byte-identical to a
+# serial run.
+
+
+def seed_churn_result(
+    key: tuple, result: ChurnRunResult, obs_unit: Optional[ObsUnit] = None
+) -> None:
+    """Install a deserialized churn run under its cache key."""
+    _churn_cache[key] = result
+    if obs_unit is not None:
+        _churn_obs[key] = obs_unit
+
+
+def seed_recovery_result(
+    key: tuple, result: RecoveryRunResult, obs_unit: Optional[ObsUnit] = None
+) -> None:
+    """Install a deserialized recovery run under its cache key."""
+    _recovery_cache[key] = result
+    if obs_unit is not None:
+        _recovery_obs[key] = obs_unit
+
+
+def captured_churn_obs(key: tuple) -> Optional[ObsUnit]:
+    """The ObsUnit captured for a cached churn run (worker side)."""
+    return _churn_obs.get(key)
+
+
+def captured_recovery_obs(key: tuple) -> Optional[ObsUnit]:
+    """The ObsUnit captured for a cached recovery run (worker side)."""
+    return _recovery_obs.get(key)
 
 
 def scaled_sizes(scale: float, sizes: Sequence[int] = PAPER_SIZES) -> Tuple[int, ...]:

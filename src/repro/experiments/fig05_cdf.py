@@ -10,8 +10,17 @@ from ..metrics.stats import cdf_at
 from ..metrics.report import render_series_table
 from .common import DEFAULT_SINGLE_SIZE, PROTOCOL_ORDER, SweepSettings, churn_run
 from .registry import ExperimentResult, register
+from .units import ChurnUnit, declare_units
 
 THRESHOLDS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@declare_units("fig05")
+def units(
+    scale: float = 1.0, seed: int = 42, population: int = DEFAULT_SINGLE_SIZE, **_
+):
+    settings = SweepSettings(scale=scale, seed=seed)
+    return [ChurnUnit(protocol, population, settings) for protocol in PROTOCOL_ORDER]
 
 
 @register(

@@ -20,9 +20,26 @@ from .common import (
     default_probe,
 )
 from .registry import ExperimentResult, register
+from .units import DEFAULT_PROBE, ChurnUnit, declare_units
 
 #: Minute marks matching the paper's x-axis (0..300 in ~33-minute steps).
 SAMPLE_MINUTES = tuple(round(i * 100 / 3) for i in range(10))
+
+
+def probe_units(scale: float, seed: int, population: int):
+    """The probe churn runs Figs 6 and 9 both read (one per protocol)."""
+    settings = probe_settings(scale, seed)
+    return [
+        ChurnUnit(protocol, population, settings, probe=DEFAULT_PROBE)
+        for protocol in PROTOCOL_ORDER
+    ]
+
+
+@declare_units("fig06")
+def units(
+    scale: float = 1.0, seed: int = 42, population: int = DEFAULT_SINGLE_SIZE, **_
+):
+    return probe_units(scale, seed, population)
 
 
 def probe_settings(scale: float, seed: int) -> SweepSettings:

@@ -10,6 +10,17 @@ from __future__ import annotations
 from ..metrics.report import render_series_table
 from .common import PAPER_SIZES, PROTOCOL_ORDER, SweepSettings, churn_run
 from .registry import ExperimentResult, register
+from .units import ChurnUnit, declare_units
+
+
+@declare_units("fig07")
+def units(scale: float = 1.0, seed: int = 42, sizes=PAPER_SIZES, **_):
+    settings = SweepSettings(scale=scale, seed=seed)
+    return [
+        ChurnUnit(protocol, size, settings)
+        for protocol in PROTOCOL_ORDER
+        for size in sizes
+    ]
 
 
 @register(

@@ -14,7 +14,15 @@ import numpy as np
 from ..metrics.collectors import TimeSeries
 from ..metrics.report import render_series_table
 from .common import DEFAULT_SINGLE_SIZE, PROTOCOL_ORDER, churn_run, default_probe
-from .fig06_member_disruptions import SAMPLE_MINUTES, probe_settings
+from .fig06_member_disruptions import SAMPLE_MINUTES, probe_settings, probe_units
+from .units import declare_units
+
+
+@declare_units("fig09")
+def units(
+    scale: float = 1.0, seed: int = 42, population: int = DEFAULT_SINGLE_SIZE, **_
+):
+    return probe_units(scale, seed, population)
 from .registry import ExperimentResult, register
 
 

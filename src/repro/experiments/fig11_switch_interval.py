@@ -11,8 +11,24 @@ from __future__ import annotations
 from ..metrics.report import render_series_table
 from .common import DEFAULT_SINGLE_SIZE, SweepSettings, churn_run
 from .registry import ExperimentResult, register
+from .units import ChurnUnit, declare_units
 
 INTERVALS_S = (480.0, 960.0, 1200.0, 1800.0)
+
+
+@declare_units("fig11")
+def units(
+    scale: float = 1.0,
+    seed: int = 42,
+    population: int = DEFAULT_SINGLE_SIZE,
+    intervals=INTERVALS_S,
+    **_,
+):
+    settings = SweepSettings(scale=scale, seed=seed)
+    return [
+        ChurnUnit("rost", population, settings, switch_interval_s=interval)
+        for interval in intervals
+    ]
 
 
 @register(

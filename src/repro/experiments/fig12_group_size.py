@@ -11,8 +11,16 @@ from ..metrics.report import render_series_table
 from ..recovery.schemes import cer_scheme
 from .common import PAPER_SIZES, SweepSettings, recovery_run
 from .registry import ExperimentResult, register
+from .units import RecoveryUnit, declare_units
 
 GROUP_SIZES = (1, 2, 3, 4)
+
+
+@declare_units("fig12")
+def units(scale: float = 1.0, seed: int = 42, sizes=PAPER_SIZES, **_):
+    settings = SweepSettings(scale=scale, seed=seed)
+    schemes = tuple(cer_scheme(k) for k in GROUP_SIZES)
+    return [RecoveryUnit("min-depth", size, settings, schemes) for size in sizes]
 
 
 @register(

@@ -11,9 +11,19 @@ from ..metrics.report import render_series_table
 from ..recovery.schemes import cer_scheme
 from .common import DEFAULT_SINGLE_SIZE, SweepSettings, recovery_run
 from .registry import ExperimentResult, register
+from .units import RecoveryUnit, declare_units
 
 BUFFERS_S = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
 GROUP_SIZES = (1, 2, 3)
+
+
+@declare_units("fig13")
+def units(
+    scale: float = 1.0, seed: int = 42, population: int = DEFAULT_SINGLE_SIZE, **_
+):
+    settings = SweepSettings(scale=scale, seed=seed)
+    schemes = tuple(cer_scheme(k, buffer_s=b) for k in GROUP_SIZES for b in BUFFERS_S)
+    return [RecoveryUnit("min-depth", population, settings, schemes)]
 
 
 @register(

@@ -15,8 +15,33 @@ from ..metrics.stats import mean_and_ci
 from ..recovery.schemes import cer_scheme, single_source_scheme
 from .common import DEFAULT_SINGLE_SIZE, SweepSettings, recovery_run
 from .registry import ExperimentResult, register
+from .units import RecoveryUnit, declare_units
 
 GROUP_SIZES = (1, 2, 3)
+
+
+@declare_units("fig14")
+def units(
+    scale: float = 1.0,
+    seed: int = 42,
+    population: int = DEFAULT_SINGLE_SIZE,
+    replicas: int = 3,
+    **_,
+):
+    settings = SweepSettings(scale=scale, seed=seed)
+    cer_schemes = tuple(cer_scheme(k) for k in GROUP_SIZES)
+    ss_schemes = tuple(single_source_scheme(k) for k in GROUP_SIZES)
+    out = []
+    for replica in range(replicas):
+        out.append(
+            RecoveryUnit("rost", population, settings, cer_schemes, replica=replica)
+        )
+        out.append(
+            RecoveryUnit(
+                "min-depth", population, settings, ss_schemes, replica=replica
+            )
+        )
+    return out
 
 
 @register(

@@ -27,6 +27,17 @@ COLUMNS = (
 )
 
 
+from .units import ChurnUnit, declare_units
+
+
+@declare_units("control-messages")
+def units(
+    scale: float = 1.0, seed: int = 42, population: int = DEFAULT_SINGLE_SIZE, **_
+):
+    settings = SweepSettings(scale=scale, seed=seed)
+    return [ChurnUnit(protocol, population, settings) for protocol in PROTOCOL_ORDER]
+
+
 @register(
     "control-messages",
     "Control messages per member session, by protocol",

@@ -1,20 +1,35 @@
-"""Parallel fan-out of (experiment × seed) jobs over worker processes.
+"""Sweep-unit scheduling of (experiment × seed) jobs over worker processes.
 
-The paper's evaluation is a sweep of independent simulations, which makes
-it embarrassingly parallel: a :class:`ProcessPoolExecutor` runs the jobs
-across ``--jobs N`` workers while the harness preserves **deterministic
-result ordering** — results come back in submission order no matter which
-worker finishes first, so merged tables are byte-identical to a serial
-run.
+The paper's figures are views over a much smaller set of simulations
+(Figs 4/7/8/10 read different metrics off one five-protocol size sweep,
+Fig 5 shares its 8000-member column, Figs 6/9 share the probe runs), so
+the pool schedules **simulation units**, not figures:
+
+1. *Plan* — every job that has a unit declarer
+   (:mod:`~repro.experiments.units`) reports the simulations it will
+   consume; the pool dedups them across all requested figures.
+2. *Execute* — each distinct unit runs **exactly once** across the
+   workers; its exact result payload (bit-identical floats, captured obs
+   artifacts) ships back as canonical JSON.  Jobs without declarers
+   (campaign drivers, direct-sim extensions) run as whole jobs alongside.
+3. *Demux* — the parent seeds the payloads into the in-process run
+   caches and replays each figure locally; extraction is a cache-hit
+   walk costing milliseconds, and flows through the same
+   :func:`execute_job` chokepoint as a serial run (obs capture, durable
+   store recording).
+
+Because the demuxed figures consume the very cache entries a ``--jobs
+1`` run would populate, merged tables, ``--json`` payloads and obs
+traces are **byte-identical to a serial run at any** ``--jobs``.
 
 Robustness model:
 
 * ``jobs=1`` (or a single job) short-circuits to plain in-process
   execution — no executor, no subprocesses — so ``pdb``, profilers and
   coverage keep working and there is zero overhead for small runs.
-* A job whose worker crashes (``BrokenProcessPool``) or exceeds the
-  per-job ``timeout_s`` is retried **once, in-process**; the retry is
-  deterministic, so a flaky worker cannot change results.  A second
+* A unit or job whose worker crashes (``BrokenProcessPool``) or exceeds
+  the per-job ``timeout_s`` is retried **once, in-process**; the retry
+  is deterministic, so a flaky worker cannot change results.  A second
   failure propagates.
 * Workers share the expensive underlay precompute through the on-disk
   topology cache (:mod:`repro.topology.cache`): if ``REPRO_CACHE_DIR``
@@ -22,6 +37,12 @@ Robustness model:
   the duration of the run, so N workers pay for each distinct underlay
   once instead of N times — and nothing needs to pickle oracles across
   the process boundary.
+* Worker processes are capped at the machine's core count: the sims are
+  CPU-bound, so extra processes only add contention.  ``--jobs`` remains
+  the requested ceiling and has no effect on results.
+* With the durable store active, units are recorded/replayed under
+  ``sim:churn`` / ``sim:recovery`` ledger ids, so ``--resume`` composes
+  at unit granularity (see :func:`~repro.experiments.units.run_unit_task`).
 """
 
 from __future__ import annotations
@@ -44,6 +65,7 @@ from ..store.runstore import (
 )
 from ..topology import shm
 from ..topology.cache import ENV_CACHE_DIR
+from . import units as units_mod
 from .registry import ExperimentResult, run_experiment
 
 
@@ -169,6 +191,49 @@ class ExperimentPool:
         finally:
             record_stage("pool.retry", clock())
 
+    def _plan_units(self, jobs: List[ExperimentJob]):
+        """Phase 1 of the sweep-unit plan: what does each job simulate?
+
+        Returns ``(units_by_job, unique_units)``.  ``units_by_job[i]`` is
+        the unit list job ``i`` declared, or ``None`` for legacy jobs
+        (campaign drivers, direct-sim extensions, declarers that do not
+        understand the job's kwargs) which keep the whole-job path.
+        ``unique_units`` holds each distinct unit once, in first-appearance
+        order — the cross-figure dedup that makes ``all --jobs N`` simulate
+        each (protocol, size, seed) run exactly once.
+
+        With ``--resume`` and a populated store, a job whose *figure-level*
+        result is already in the ledger contributes no units (it will be
+        replayed wholesale by :func:`execute_job`); the membership probe
+        uses :meth:`~repro.store.runstore.RunStore.has_unit`, which never
+        bumps replay counters.
+        """
+        store = active_store()
+        skip_stored = store is not None and resume_enabled()
+        units_by_job: List[Optional[list]] = []
+        unique_units: List[units_mod.SimulationUnit] = []
+        seen = set()
+        for job in jobs:
+            try:
+                declared = units_mod.units_for(
+                    job.experiment_id, job.scale, job.seed, **dict(job.kwargs)
+                )
+            except TypeError:
+                declared = None
+            if declared is None:
+                units_by_job.append(None)
+                continue
+            if skip_stored and store.has_unit(store.job_key(job)):
+                units_by_job.append([])
+                continue
+            units_by_job.append(declared)
+            for unit in declared:
+                key = unit.cache_key()
+                if key not in seen:
+                    seen.add(key)
+                    unique_units.append(unit)
+        return units_by_job, unique_units
+
     def _run_parallel(self, jobs: List[ExperimentJob]) -> List[ExperimentResult]:
         cache_dir = os.environ.get(ENV_CACHE_DIR) or None
         temp_cache = None
@@ -186,24 +251,82 @@ class ExperimentPool:
             shm_session = shm.new_session_token()
             os.environ[shm.ENV_SHM_SESSION] = shm_session
         try:
+            clock = stage_timer()
+            units_by_job, unique_units = self._plan_units(jobs)
+            record_stage("pool.plan", clock())
+            # Never oversubscribe the machine: the sims are CPU-bound, so
+            # workers beyond the core count only add contention and
+            # duplicated per-process cache state.  ``--jobs`` stays the
+            # requested ceiling (and the dedup plan is identical at any
+            # value); the executor just won't start more processes than
+            # can actually run.
+            worker_slots = min(
+                self.jobs,
+                max(len(jobs), len(unique_units)),
+                max(1, os.cpu_count() or 1),
+            )
             executor = ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(jobs)),
+                max_workers=worker_slots,
                 initializer=_worker_init,
                 initargs=(cache_dir, obs_env(), shm_session, store_env()),
             )
             try:
+                # Phase 2: execute each deduplicated simulation unit once,
+                # alongside the legacy whole jobs (they share the worker
+                # pool, so unit work and campaign work overlap freely).
                 clock = stage_timer()
-                futures = [executor.submit(execute_job, job) for job in jobs]
+                unit_futures = [
+                    executor.submit(units_mod.run_unit_task, unit)
+                    for unit in unique_units
+                ]
+                job_futures = {
+                    i: executor.submit(execute_job, job)
+                    for i, job in enumerate(jobs)
+                    if units_by_job[i] is None
+                }
                 record_stage("pool.submit", clock())
                 clock = stage_timer()
-                results: List[ExperimentResult] = []
-                for job, future in zip(jobs, futures):
+                for unit, future in zip(unique_units, unit_futures):
                     try:
-                        results.append(future.result(timeout=self.timeout_s))
+                        payload = future.result(timeout=self.timeout_s)
                     except (BrokenExecutor, FutureTimeoutError, OSError):
                         # Crashed or wedged worker: retry once, in-process.
                         future.cancel()
-                        results.append(self._retry_in_process(job))
+                        self.retried_jobs += 1
+                        payload = units_mod.run_unit_task(unit)
+                    units_mod.seed_unit(unit, payload)
+                record_stage("pool.units", clock())
+                # Phase 3: gather legacy jobs in submission order and
+                # demux unit-backed figures in-process — every simulation
+                # they consume is now a cache hit, so extraction costs
+                # milliseconds and still flows through the execute_job
+                # chokepoint (obs capture + store recording).
+                clock = stage_timer()
+                results: List[ExperimentResult] = []
+                for i, job in enumerate(jobs):
+                    if units_by_job[i] is None:
+                        future = job_futures[i]
+                        try:
+                            results.append(future.result(timeout=self.timeout_s))
+                        except (BrokenExecutor, FutureTimeoutError, OSError):
+                            future.cancel()
+                            results.append(self._retry_in_process(job))
+                    else:
+                        # Demux with the workers' disk cache joined: a
+                        # figure that needs the topology itself (e.g. the
+                        # probe figures) loads the workers' precomputed
+                        # underlay instead of regenerating it.  Scoped to
+                        # the demux call so legacy retries (above) run
+                        # under the caller's own environment.
+                        prior = os.environ.get(ENV_CACHE_DIR)
+                        os.environ[ENV_CACHE_DIR] = cache_dir
+                        try:
+                            results.append(execute_job(job))
+                        finally:
+                            if prior is None:
+                                os.environ.pop(ENV_CACHE_DIR, None)
+                            else:
+                                os.environ[ENV_CACHE_DIR] = prior
                 record_stage("pool.gather", clock())
                 return results
             finally:

@@ -15,6 +15,23 @@ from typing import Callable, Dict, List, Optional, Tuple
 from .stats import mean_and_ci
 
 
+def exact_num(value):
+    """Normalize a number for an exact JSON payload.
+
+    Preserves the int/float distinction — JSON keeps it, and the figure
+    code downstream is type-sensitive (a probe count serialized as
+    ``0.0`` would make a replayed result differ from a fresh one by a
+    single trailing ``.0`` in ``--json``).  Plain ints stay ints;
+    everything else (incl. numpy scalars) becomes a Python float, which
+    ``repr``-round-trips bit-for-bit.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    return float(value)
+
+
 @dataclass
 class TimeSeries:
     """An append-only (time, value) series (probe member figures 6 & 9)."""
@@ -33,6 +50,17 @@ class TimeSeries:
 
     def as_pairs(self) -> List[Tuple[float, float]]:
         return list(zip(self.times, self.values))
+
+    def to_payload(self) -> dict:
+        """JSON-ready exact form (floats round-trip bit-for-bit)."""
+        return {
+            "times": [exact_num(t) for t in self.times],
+            "values": [exact_num(v) for v in self.values],
+        }
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "TimeSeries":
+        return cls(times=list(data["times"]), values=list(data["values"]))
 
 
 class ChurnMetrics:
@@ -130,6 +158,58 @@ class ChurnMetrics:
     def record_tree_sample(self, delay_ms: float, stretch: float) -> None:
         self.delay_samples_ms.append(delay_ms)
         self.stretch_samples.append(stretch)
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Every accumulated field, JSON-ready and exact.
+
+        Includes the population-integral bookkeeping
+        (``_last_population_time`` / ``_last_population``) so a rebuilt
+        instance is state-identical, not merely derived-metric-identical.
+        """
+        return {
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "mean_lifetime_s": self.mean_lifetime_s,
+            "disruption_events": int(self.disruption_events),
+            "optimization_reconnections": int(self.optimization_reconnections),
+            "failure_reconnections": int(self.failure_reconnections),
+            "disruptions_per_departed": [int(x) for x in self.disruptions_per_departed],
+            "reconnections_per_departed": [
+                int(x) for x in self.reconnections_per_departed
+            ],
+            "node_seconds": exact_num(self.node_seconds),
+            "last_population_time": exact_num(self._last_population_time),
+            "last_population": int(self._last_population),
+            "delay_samples_ms": [exact_num(x) for x in self.delay_samples_ms],
+            "stretch_samples": [exact_num(x) for x in self.stretch_samples],
+            "rejected_sessions": int(self.rejected_sessions),
+            "join_retries": int(self.join_retries),
+            "departures_in_window": int(self.departures_in_window),
+            "arrivals_in_window": int(self.arrivals_in_window),
+        }
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "ChurnMetrics":
+        metrics = cls(
+            data["window_start"], data["window_end"], data["mean_lifetime_s"]
+        )
+        metrics.disruption_events = data["disruption_events"]
+        metrics.optimization_reconnections = data["optimization_reconnections"]
+        metrics.failure_reconnections = data["failure_reconnections"]
+        metrics.disruptions_per_departed = list(data["disruptions_per_departed"])
+        metrics.reconnections_per_departed = list(data["reconnections_per_departed"])
+        metrics.node_seconds = data["node_seconds"]
+        metrics._last_population_time = data["last_population_time"]
+        metrics._last_population = data["last_population"]
+        metrics.delay_samples_ms = list(data["delay_samples_ms"])
+        metrics.stretch_samples = list(data["stretch_samples"])
+        metrics.rejected_sessions = data["rejected_sessions"]
+        metrics.join_retries = data["join_retries"]
+        metrics.departures_in_window = data["departures_in_window"]
+        metrics.arrivals_in_window = data["arrivals_in_window"]
+        return metrics
 
     # -- derived metrics ----------------------------------------------------------
 

@@ -63,3 +63,14 @@ class MessageStats:
 
     def merge(self, other: "MessageStats") -> None:
         self.counts.update(other.counts)
+
+    def to_payload(self) -> Dict[str, int]:
+        """JSON-ready ``{type-value: count}``; inverse of from_payload."""
+        return {mt.value: int(self.counts[mt]) for mt in MessageType if self.counts[mt]}
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, int]) -> "MessageStats":
+        stats = cls()
+        for name, count in data.items():
+            stats.counts[MessageType(name)] = count
+        return stats

@@ -180,6 +180,16 @@ class PartialTreeView:
     def __init__(self, root_id: int):
         self.root_id = root_id
         self._nodes: Dict[int, _ViewNode] = {root_id: _ViewNode(root_id)}
+        # Derived-structure caches.  One episode prices every recovery
+        # scheme against the same view, so sorted child lists, the level
+        # decomposition and subtree member lists are queried several
+        # times per view; they are built lazily once and invalidated on
+        # any ``_add_path`` mutation.  Public accessors hand out fresh
+        # lists (callers pop/append on them), only the internals are
+        # shared.
+        self._children_cache: Optional[Dict[int, List[int]]] = None
+        self._levels_cache: Optional[List[List[int]]] = None
+        self._descendants_cache: Dict[int, List[int]] = {}
 
     @classmethod
     def from_members(
@@ -226,6 +236,22 @@ class PartialTreeView:
             parent = self._nodes.setdefault(parent_id, _ViewNode(parent_id))
             parent.children.add(child_id)
             self._nodes.setdefault(child_id, _ViewNode(child_id))
+        self._children_cache = None
+        self._levels_cache = None
+        if self._descendants_cache:
+            self._descendants_cache = {}
+
+    def _children_sorted(self, member_id: int) -> List[int]:
+        """Cached sorted child list — internal, callers must not mutate."""
+        cache = self._children_cache
+        if cache is None:
+            cache = self._children_cache = {
+                mid: sorted(node.children) for mid, node in self._nodes.items()
+            }
+        children = cache.get(member_id)
+        if children is None:
+            raise RecoveryError(f"member {member_id} not in the partial view")
+        return children
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -238,32 +264,71 @@ class PartialTreeView:
         return list(self._nodes)
 
     def children_of(self, member_id: int) -> List[int]:
-        node = self._nodes.get(member_id)
-        if node is None:
-            raise RecoveryError(f"member {member_id} not in the partial view")
-        return sorted(node.children)
+        return list(self._children_sorted(member_id))
 
     def levels(self) -> List[List[int]]:
         """Members per level, level 0 = [root]."""
-        result: List[List[int]] = []
-        frontier = [self.root_id]
-        while frontier:
-            result.append(frontier)
-            next_frontier: List[int] = []
-            for member_id in frontier:
-                next_frontier.extend(self.children_of(member_id))
-            frontier = next_frontier
-        return result
+        if self._levels_cache is None:
+            result: List[List[int]] = []
+            frontier = [self.root_id]
+            while frontier:
+                result.append(frontier)
+                next_frontier: List[int] = []
+                for member_id in frontier:
+                    next_frontier.extend(self._children_sorted(member_id))
+                frontier = next_frontier
+            self._levels_cache = result
+        return [list(level) for level in self._levels_cache]
 
     def descendants_of(self, member_id: int) -> List[int]:
         """All view-members strictly below ``member_id``."""
-        result: List[int] = []
-        queue = deque(self.children_of(member_id))
-        while queue:
-            current = queue.popleft()
-            result.append(current)
-            queue.extend(self.children_of(current))
-        return result
+        cached = self._descendants_cache.get(member_id)
+        if cached is None:
+            result: List[int] = []
+            queue = deque(self._children_sorted(member_id))
+            while queue:
+                current = queue.popleft()
+                result.append(current)
+                queue.extend(self._children_sorted(current))
+            self._descendants_cache[member_id] = cached = result
+        return list(cached)
+
+
+def naive_view_children(view: PartialTreeView, member_id: int) -> List[int]:
+    """Reference child list: sorted from the raw sets on every call."""
+    node = view._nodes.get(member_id)
+    if node is None:
+        raise RecoveryError(f"member {member_id} not in the partial view")
+    return sorted(node.children)
+
+
+def naive_view_levels(view: PartialTreeView) -> List[List[int]]:
+    """Reference level decomposition, recomputed from scratch each call.
+
+    Ground truth for the cached :meth:`PartialTreeView.levels`; the
+    differential tests interleave queries and ``_add_path`` mutations and
+    check the two stay identical.
+    """
+    result: List[List[int]] = []
+    frontier = [view.root_id]
+    while frontier:
+        result.append(frontier)
+        next_frontier: List[int] = []
+        for member_id in frontier:
+            next_frontier.extend(naive_view_children(view, member_id))
+        frontier = next_frontier
+    return result
+
+
+def naive_view_descendants(view: PartialTreeView, member_id: int) -> List[int]:
+    """Reference subtree walk for :meth:`PartialTreeView.descendants_of`."""
+    result: List[int] = []
+    queue = deque(naive_view_children(view, member_id))
+    while queue:
+        current = queue.popleft()
+        result.append(current)
+        queue.extend(naive_view_children(view, current))
+    return result
 
 
 def select_mlc_group(

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..config import SimulationConfig
 from ..errors import SimulationError
-from ..metrics.collectors import ChurnMetrics, TimeSeries
+from ..metrics.collectors import ChurnMetrics, TimeSeries, exact_num
 from ..overlay.membership import MembershipService
 from ..overlay.messages import MessageStats
 from ..overlay.node import OverlayNode
@@ -113,6 +113,63 @@ class ChurnRunResult:
     @property
     def avg_optimization_reconnections(self) -> float:
         return self.metrics.avg_optimization_reconnections_per_node
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Exact JSON-ready form for crossing process boundaries.
+
+        Every float survives a JSON round-trip bit-for-bit (repr-based
+        shortest serialization; NaN/inf use the JSON extensions Python's
+        ``json`` emits by default), every list keeps its order, so a
+        rebuilt result is indistinguishable from the original to any
+        figure-extraction code.  Inverse of :meth:`from_payload`.
+        """
+        from ..config import config_to_dict
+
+        return {
+            "protocol_name": self.protocol_name,
+            "config": config_to_dict(self.config),
+            "metrics": self.metrics.to_payload(),
+            "messages": self.messages.to_payload(),
+            "sessions_total": int(self.sessions_total),
+            "sessions_rejected": int(self.sessions_rejected),
+            "probe_disruptions": (
+                self.probe_disruptions.to_payload()
+                if self.probe_disruptions is not None
+                else None
+            ),
+            "probe_delay_ms": (
+                self.probe_delay_ms.to_payload()
+                if self.probe_delay_ms is not None
+                else None
+            ),
+            "extras": {name: exact_num(v) for name, v in self.extras.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "ChurnRunResult":
+        from ..config import config_from_dict
+
+        return cls(
+            protocol_name=data["protocol_name"],
+            config=config_from_dict(data["config"]),
+            metrics=ChurnMetrics.from_payload(data["metrics"]),
+            messages=MessageStats.from_payload(data["messages"]),
+            sessions_total=data["sessions_total"],
+            sessions_rejected=data["sessions_rejected"],
+            probe_disruptions=(
+                TimeSeries.from_payload(data["probe_disruptions"])
+                if data["probe_disruptions"] is not None
+                else None
+            ),
+            probe_delay_ms=(
+                TimeSeries.from_payload(data["probe_delay_ms"])
+                if data["probe_delay_ms"] is not None
+                else None
+            ),
+            extras=dict(data["extras"]),
+        )
 
 
 class ChurnSimulation:

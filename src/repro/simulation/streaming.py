@@ -22,12 +22,14 @@ Per failure of member *f*:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import RecoveryConfig, SimulationConfig
+from ..metrics.collectors import exact_num
 from ..metrics.stats import mean_and_ci
 from ..overlay.node import OverlayNode
 from ..recovery.buffer import PlaybackState
@@ -113,6 +115,40 @@ class SchemeResult:
             return float("nan")
         return self.group_domain_correlation_sum / self.groups_selected
 
+    # -- serialization ------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Exact JSON-ready form; inverse of :meth:`from_payload`."""
+        return {
+            "scheme": dataclasses.asdict(self.scheme),
+            "ratios": [exact_num(r) for r in self.ratios],
+            "total_starving_s": exact_num(self.total_starving_s),
+            "total_view_s": exact_num(self.total_view_s),
+            "episodes": int(self.episodes),
+            "coverage_sum": exact_num(self.coverage_sum),
+            "gap_packets_total": int(self.gap_packets_total),
+            "repaired_packets_total": int(self.repaired_packets_total),
+            "group_tree_correlation_sum": int(self.group_tree_correlation_sum),
+            "group_domain_correlation_sum": int(self.group_domain_correlation_sum),
+            "groups_selected": int(self.groups_selected),
+        }
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "SchemeResult":
+        return cls(
+            scheme=RecoveryScheme(**data["scheme"]),
+            ratios=list(data["ratios"]),
+            total_starving_s=data["total_starving_s"],
+            total_view_s=data["total_view_s"],
+            episodes=data["episodes"],
+            coverage_sum=data["coverage_sum"],
+            gap_packets_total=data["gap_packets_total"],
+            repaired_packets_total=data["repaired_packets_total"],
+            group_tree_correlation_sum=data["group_tree_correlation_sum"],
+            group_domain_correlation_sum=data["group_domain_correlation_sum"],
+            groups_selected=data["groups_selected"],
+        )
+
 
 @dataclass
 class RecoveryRunResult:
@@ -123,6 +159,26 @@ class RecoveryRunResult:
 
     def ratio_pct(self, scheme_name: str) -> float:
         return self.schemes[scheme_name].avg_starving_ratio_pct
+
+    def to_payload(self) -> dict:
+        """Exact JSON-ready form; scheme order is preserved (JSON objects
+        keep insertion order), so iteration downstream is unchanged."""
+        return {
+            "churn": self.churn.to_payload(),
+            "schemes": {
+                name: result.to_payload() for name, result in self.schemes.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "RecoveryRunResult":
+        return cls(
+            churn=ChurnRunResult.from_payload(data["churn"]),
+            schemes={
+                name: SchemeResult.from_payload(payload)
+                for name, payload in data["schemes"].items()
+            },
+        )
 
 
 class RecoveryObserver:

@@ -128,6 +128,56 @@ class RunStore:
         self.ledger.record_hit(key)
         return ExperimentResult.from_payload(payload)
 
+    def has_unit(self, key: str) -> bool:
+        """Ledger-only membership test; never bumps the ``hits`` counter.
+
+        The sweep-unit planner uses this to decide which jobs still need
+        their simulation units scheduled: replay accounting must reflect
+        actual replays, not planning probes.
+        """
+        return self.ledger.lookup_unit(key) is not None
+
+    # -- simulation units (sweep-unit scheduler) ---------------------------------
+
+    def record_sim_unit(self, key: str, unit, payload_json: str) -> str:
+        """Persist one executed simulation unit's exact payload.
+
+        Same artifact-first publication order as :meth:`record_result`.
+        The ledger row's ``experiment_id`` is ``sim:churn`` /
+        ``sim:recovery``, so figure-level rows and simulation-unit rows
+        share one ledger without colliding, and the acceptance assert
+        (*each deduped unit executes exactly once*) can filter on the
+        prefix and read the ``executions`` counters.
+        """
+        doc = unit.store_doc()
+        digest = self.artifacts.put(payload_json.encode("utf-8"))
+        self.ledger.record_unit(
+            key,
+            experiment_id=f"sim:{doc['unit']}",
+            scale=doc["settings"]["scale"],
+            seed=doc["settings"]["seed"],
+            params_json=canonical_json(doc),
+            artifact=digest,
+        )
+        return digest
+
+    def replay_sim_unit(self, key: str) -> Optional[str]:
+        """The stored payload JSON for a simulation unit, or ``None``.
+
+        Follows :meth:`replay`'s contract: a hit bumps the ledger
+        counter; a missing/corrupt artifact drops the row and reports a
+        miss so the caller re-simulates.
+        """
+        row = self.ledger.lookup_unit(key)
+        if row is None:
+            return None
+        data = self.artifacts.get(row["artifact"])
+        if data is None:
+            self.ledger.forget_unit(key)
+            return None
+        self.ledger.record_hit(key)
+        return data.decode("utf-8")
+
     # -- run records -------------------------------------------------------------
 
     def record_run(

@@ -1,0 +1,130 @@
+"""Differential tests: memoized PartialTreeView == naive recomputation.
+
+PR 10 memoizes the view's derived structures (sorted child lists, the
+level decomposition and per-member subtree walks) because one starvation
+episode prices every recovery scheme against the same view.
+``recovery/mlc.py`` keeps naive references (``naive_view_children`` /
+``naive_view_levels`` / ``naive_view_descendants``) that recompute from
+the raw child sets on every call; Hypothesis interleaves random
+``_add_path`` mutations with queries so the caches are exercised warm,
+cold and freshly invalidated — every answer must match the naive walk,
+including the RNG draw sequence of ``select_mlc_group``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.recovery.mlc import (
+    PartialTreeView,
+    naive_view_children,
+    naive_view_descendants,
+    naive_view_levels,
+    select_mlc_group,
+    select_random_group,
+)
+
+#: A random tree: parents[i] is the parent of member ``i + 1`` and is
+#: always a smaller id, so the implied structure is acyclic — exactly the
+#: consistency real root paths have.  Each "gossiped path" is then the
+#: root path of a randomly chosen member.
+PARENTS = st.lists(st.integers(0, 10**6), min_size=1, max_size=25).map(
+    lambda draws: [d % (i + 1) for i, d in enumerate(draws)]
+)
+PICKS = st.lists(st.integers(0, 10**6), min_size=1, max_size=20)
+QUERIES = st.lists(st.integers(0, 10**6), min_size=1, max_size=30)
+
+
+def _root_paths(parents, picks):
+    """Root paths (each starting at 0) of the picked members."""
+    paths = []
+    for pick in picks:
+        member = (pick % len(parents)) + 1
+        path = [member]
+        while path[-1] != 0:
+            path.append(parents[path[-1] - 1])
+        path.reverse()
+        paths.append(path)
+    return paths
+
+
+def _view_from(paths):
+    view = PartialTreeView(0)
+    for path in paths:
+        view._add_path(path)
+    return view
+
+
+def _assert_matches_naive(view):
+    assert view.levels() == naive_view_levels(view)
+    for member_id in view.member_ids():
+        assert view.children_of(member_id) == naive_view_children(view, member_id)
+        assert view.descendants_of(member_id) == naive_view_descendants(
+            view, member_id
+        )
+
+
+@settings(max_examples=150, deadline=None)
+@given(parents=PARENTS, picks=PICKS, queries=QUERIES)
+def test_view_queries_match_naive_across_mutations(parents, picks, queries):
+    """Queries stay exact while _add_path keeps invalidating the caches."""
+    view = PartialTreeView(0)
+    pending = _root_paths(parents, picks)
+    for q in queries:
+        if pending and q % 3 == 0:
+            view._add_path(pending.pop())
+            continue
+        members = view.member_ids()
+        target = members[q % len(members)]
+        assert view.children_of(target) == naive_view_children(view, target)
+        assert view.descendants_of(target) == naive_view_descendants(view, target)
+        assert view.levels() == naive_view_levels(view)
+    for path in pending:
+        view._add_path(path)
+    _assert_matches_naive(view)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    parents=PARENTS,
+    picks=PICKS,
+    seed=st.integers(0, 2**32 - 1),
+    k=st.integers(1, 6),
+)
+def test_select_mlc_group_identical_on_warm_and_cold_views(parents, picks, seed, k):
+    """Selection (and its RNG draw sequence) is independent of cache state.
+
+    The warm view has been queried heavily (caches populated); the cold
+    view is freshly built.  Identical RNG seeds must give identical
+    groups — the memoization must not change iteration order anywhere.
+    """
+    paths = _root_paths(parents, picks)
+    cold = _view_from(paths)
+    warm = _view_from(paths)
+    _assert_matches_naive(warm)  # populates every cache
+    rng_a = np.random.default_rng(seed)
+    rng_b = np.random.default_rng(seed)
+    assert select_mlc_group(warm, k, rng_a) == select_mlc_group(cold, k, rng_b)
+    rng_a = np.random.default_rng(seed + 1)
+    rng_b = np.random.default_rng(seed + 1)
+    assert select_random_group(warm, k, rng_a) == select_random_group(cold, k, rng_b)
+
+
+def test_mutating_returned_lists_does_not_corrupt_caches():
+    """Callers pop/append on the returned lists (select_mlc_group does);
+    the shared internals must be insulated from that."""
+    view = _view_from([[0, 1, 2], [0, 1, 3], [0, 4]])
+    first = view.children_of(1)
+    first.pop()
+    assert view.children_of(1) == naive_view_children(view, 1)
+    levels = view.levels()
+    levels[1].append(999)
+    assert view.levels() == naive_view_levels(view)
+    desc = view.descendants_of(1)
+    desc.append(999)
+    assert view.descendants_of(1) == naive_view_descendants(view, 1)
